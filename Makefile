@@ -1,0 +1,26 @@
+PYTHON ?= python3
+BENCH_SIZES ?= 32,64,128
+
+.PHONY: install test bench examples lint clean
+
+install:
+	$(PYTHON) -m pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_BENCH_SIZES_KIB=$(BENCH_SIZES) \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-sort=mean
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/publication_registry.py
+	$(PYTHON) examples/workload_policies.py
+	$(PYTHON) examples/referential_integrity.py
+	$(PYTHON) examples/conference_reviews.py 64
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

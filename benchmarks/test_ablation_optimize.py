@@ -1,0 +1,87 @@
+"""Ablation A2 — what each Optimize stage buys.
+
+``Simp = Optimize ∘ After``; this ablation evaluates, on the same
+corpus and pending update, the checks produced by successively weaker
+pipelines:
+
+* ``after_only``  — the raw ``After^U(Γ)`` expansion (all combinations,
+  including the unchanged constraint copies);
+* ``normalized``  — per-denial normalization (equality folding,
+  contradiction removal) but no redundancy elimination against Γ∪Δ;
+* ``full_simp``   — the complete procedure.
+
+All three are *correct* pre-checks; the benchmark shows the performance
+ladder the paper's Optimize rules climb.
+"""
+
+import pytest
+
+from repro.core import DatalogChecker
+from repro.simplify import after, optimize, simp
+from repro.simplify.optimize import normalize_denial
+
+
+@pytest.fixture()
+def stages(schema, conflict_scenario):
+    analyzed = conflict_scenario.pattern_checks.analyzed
+    gamma = conflict_scenario.constraint.denials
+    expanded = after(gamma, analyzed.pattern)
+    normalized = [
+        normal for normal in (normalize_denial(denial)
+                              for denial in expanded)
+        if normal is not None
+    ]
+    simplified = simp(gamma, analyzed.pattern, analyzed.hypotheses)
+    return expanded, normalized, simplified
+
+
+@pytest.fixture()
+def bindings(conflict_scenario):
+    checks = conflict_scenario.pattern_checks
+    return checks.analyzed.bind(conflict_scenario.rev_doc,
+                                conflict_scenario.legal_operation)
+
+
+@pytest.fixture()
+def datalog(schema, corpus):
+    pub_doc, rev_doc, _ = corpus
+    return DatalogChecker(schema, [pub_doc, rev_doc])
+
+
+def _fresh_binding_values(bindings, datalog):
+    """Add fabricated fresh ids so After-level checks are evaluable."""
+    values = dict(bindings)
+    values["is"] = -1
+    values["ia"] = -2
+    return values
+
+
+def test_after_only(benchmark, stages, bindings, datalog, size_kib):
+    benchmark.group = f"ablation-optimize-{size_kib}KiB"
+    expanded, _, _ = stages
+    values = _fresh_binding_values(bindings, datalog)
+    violated = benchmark(datalog.check_denials, expanded, values)
+    assert violated is False
+
+
+def test_normalized(benchmark, stages, bindings, datalog, size_kib):
+    benchmark.group = f"ablation-optimize-{size_kib}KiB"
+    _, normalized, _ = stages
+    values = _fresh_binding_values(bindings, datalog)
+    violated = benchmark(datalog.check_denials, normalized, values)
+    assert violated is False
+
+
+def test_full_simp(benchmark, stages, bindings, datalog, size_kib):
+    benchmark.group = f"ablation-optimize-{size_kib}KiB"
+    _, _, simplified = stages
+    violated = benchmark(datalog.check_denials, simplified, bindings)
+    assert violated is False
+
+
+def test_stage_sizes(stages):
+    """The static footprint shrinks at every stage."""
+    expanded, normalized, simplified = stages
+    assert len(expanded) >= len(normalized) >= len(simplified)
+    assert sum(len(d.body) for d in normalized) \
+        >= sum(len(d.body) for d in simplified)

@@ -1,0 +1,44 @@
+"""Figure 1(a) — "Conflict of interests" (example 1).
+
+Three curves over document size (the benchmark-name suffix is the
+corpus target size):
+
+* ``full``      — verify the original constraint (diamonds);
+* ``optimized`` — verify the simplified constraint for a pending legal
+  submission (squares);
+* ``update_full_rollback`` — execute the update, verify the original
+  constraint, undo the update (triangles; the cost an un-optimized
+  system pays on an illegal update).
+
+Expected shape (section 7): optimized ≪ full for every size with the
+gap growing, since the simplified denial is instantiated with the
+update's values and drops one join; the triangles curve dominates both.
+"""
+
+
+def test_full(benchmark, conflict_scenario, size_kib):
+    benchmark.group = f"fig1a-{size_kib}KiB"
+    violated = benchmark(conflict_scenario.full_check)
+    assert violated is False  # the generated corpus is consistent
+
+
+def test_optimized(benchmark, conflict_scenario, size_kib):
+    benchmark.group = f"fig1a-{size_kib}KiB"
+    violated = benchmark(conflict_scenario.optimized_check)
+    assert violated is False  # the pending update is legal
+
+
+def test_update_full_rollback(benchmark, conflict_scenario, size_kib):
+    benchmark.group = f"fig1a-{size_kib}KiB"
+    violated = benchmark(conflict_scenario.update_check_rollback)
+    assert violated is False
+
+
+def test_optimized_detects_illegal(benchmark, conflict_scenario, size_kib):
+    """The squares curve measured on an illegal update: the early
+    rejection is as cheap as the legal case."""
+    benchmark.group = f"fig1a-{size_kib}KiB"
+    violated = benchmark(
+        conflict_scenario.optimized_check,
+        conflict_scenario.illegal_operation)
+    assert violated is True

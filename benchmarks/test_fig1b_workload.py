@@ -1,0 +1,34 @@
+"""Figure 1(b) — "Conference workload" (example 2, Cnt_D aggregates).
+
+Same three curves as figure 1(a), for the aggregate constraint.  The
+paper observes that the improvement is smaller here: the simplified
+check still has to compute aggregate values, only over a pinned
+reviewer instead of every group.
+"""
+
+
+def test_full(benchmark, workload_scenario, size_kib):
+    benchmark.group = f"fig1b-{size_kib}KiB"
+    violated = benchmark(workload_scenario.full_check)
+    assert violated is False
+
+
+def test_optimized(benchmark, workload_scenario, size_kib):
+    benchmark.group = f"fig1b-{size_kib}KiB"
+    violated = benchmark(workload_scenario.optimized_check)
+    assert violated is False
+
+
+def test_update_full_rollback(benchmark, workload_scenario, size_kib):
+    benchmark.group = f"fig1b-{size_kib}KiB"
+    violated = benchmark(workload_scenario.update_check_rollback)
+    assert violated is False
+
+
+def test_optimized_detects_illegal(benchmark, workload_scenario,
+                                   size_kib):
+    benchmark.group = f"fig1b-{size_kib}KiB"
+    violated = benchmark(
+        workload_scenario.optimized_check,
+        workload_scenario.illegal_operation)
+    assert violated is True

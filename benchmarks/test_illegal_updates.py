@@ -1,0 +1,37 @@
+"""Ablation A3 — the cost of an illegal update, end to end.
+
+The paper's headline for illegal updates: the optimized strategy
+rejects them *before* execution (squares), while the un-optimized one
+pays update + full check + rollback (triangles).  This benchmark runs
+the two complete code paths through the public checkers.
+"""
+
+
+def test_guard_rejects_conflict(benchmark, conflict_scenario, size_kib):
+    benchmark.group = f"illegal-{size_kib}KiB"
+    decision = benchmark(conflict_scenario.guard.try_execute,
+                         conflict_scenario.illegal_update)
+    assert not decision.legal and not decision.applied
+
+
+def test_brute_force_rolls_back_conflict(benchmark, conflict_scenario,
+                                         size_kib):
+    benchmark.group = f"illegal-{size_kib}KiB"
+    decision = benchmark(conflict_scenario.brute.try_execute,
+                         conflict_scenario.illegal_update)
+    assert not decision.legal and decision.rolled_back
+
+
+def test_guard_rejects_workload(benchmark, workload_scenario, size_kib):
+    benchmark.group = f"illegal-{size_kib}KiB"
+    decision = benchmark(workload_scenario.guard.try_execute,
+                         workload_scenario.illegal_update)
+    assert not decision.legal and not decision.applied
+
+
+def test_brute_force_rolls_back_workload(benchmark, workload_scenario,
+                                         size_kib):
+    benchmark.group = f"illegal-{size_kib}KiB"
+    decision = benchmark(workload_scenario.brute.try_execute,
+                         workload_scenario.illegal_update)
+    assert not decision.legal and decision.rolled_back

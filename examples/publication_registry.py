@@ -1,0 +1,107 @@
+"""A different domain: a publication registry with key constraints.
+
+Shows the system on a schema you define yourself — a registry of books
+with ISBN-like identifiers, reproducing the paper's example 4/5 (the
+uniqueness denial ``← p(X,Y) ∧ p(X,Z) ∧ Y ≠ Z``) at the XML level:
+
+* ``isbn_unique`` — two books with the same ISBN must agree on the
+  title (the simplified check upon registering a book becomes
+  "no existing book with this ISBN has a different title");
+* ``no_future_editions`` — edition numbers are capped per ISBN with a
+  ``Cnt`` aggregate.
+
+Run with::
+
+    python examples/publication_registry.py
+"""
+
+from repro import ConstraintSchema, IntegrityGuard, parse_document
+
+REGISTRY_DTD = """
+<!ELEMENT registry (book)*>
+<!ELEMENT book (isbn, title, edition*)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT edition (year)>
+<!ELEMENT year (#PCDATA)>
+"""
+
+# example 4 at the XML level: same ISBN, different titles — forbidden
+ISBN_UNIQUE = """
+<- //book[/isbn/text() -> I]/title/text() -> T1
+   /\\ //book[/isbn/text() -> I]/title/text() -> T2
+   /\\ T1 != T2
+"""
+
+# at most 4 editions of any single book
+EDITION_CAP = """
+<- Cnt_D{[I]; //book[/isbn/text() -> I]/edition} > 4
+"""
+
+REGISTRY_XML = """<registry>
+  <book><isbn>0-201-53082-1</isbn><title>Foundations of Databases</title>
+    <edition><year>1995</year></edition>
+  </book>
+  <book><isbn>0-321-19784-4</isbn><title>Database Systems</title>
+    <edition><year>2001</year></edition>
+    <edition><year>2004</year></edition>
+    <edition><year>2007</year></edition>
+    <edition><year>2009</year></edition>
+  </book>
+</registry>"""
+
+
+def register_book(isbn: str, title: str) -> str:
+    return f"""<xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/registry">
+        <book><isbn>{isbn}</isbn><title>{title}</title></book>
+      </xupdate:append>
+    </xupdate:modifications>"""
+
+
+def add_edition(book_index: int, year: int) -> str:
+    return f"""<xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/registry/book[{book_index}]">
+        <edition><year>{year}</year></edition>
+      </xupdate:append>
+    </xupdate:modifications>"""
+
+
+def main() -> None:
+    schema = ConstraintSchema(
+        dtds=[REGISTRY_DTD],
+        constraints=[ISBN_UNIQUE, EDITION_CAP],
+        names=["isbn_unique", "edition_cap"],
+    )
+    schema.register_pattern(register_book("x", "y"))
+    schema.register_pattern(add_edition(1, 2000))
+    print(schema.describe())
+
+    document = parse_document(REGISTRY_XML)
+    guard = IntegrityGuard(schema, [document])
+
+    print()
+    scenarios = [
+        ("new book", register_book("0-13-110362-8", "The C Book")),
+        ("same ISBN, same title",
+         register_book("0-201-53082-1", "Foundations of Databases")),
+        ("same ISBN, DIFFERENT title",
+         register_book("0-201-53082-1", "Pirated Databases")),
+        ("5th edition of a 4-edition book", add_edition(2, 2012)),
+        ("2nd edition of a 1-edition book", add_edition(1, 1996)),
+    ]
+    for label, update in scenarios:
+        decision = guard.try_execute(update)
+        verdict = "accepted" if decision.legal \
+            else f"REJECTED ({', '.join(decision.violated)})"
+        print(f"  {label:35} → {verdict}")
+
+    books = len(document.root.element_children("book"))
+    print(f"\nRegistry now holds {books} books "
+          "(illegal registrations were never applied).")
+
+
+if __name__ == "__main__":
+    main()

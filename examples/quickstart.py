@@ -1,0 +1,99 @@
+"""Quickstart: the paper's running example in ~60 lines.
+
+Declares the two document DTDs and the conflict-of-interest constraint
+(example 1), registers the single-author-submission update pattern
+(example 6), and guards a few updates — legal ones go through, illegal
+ones are rejected *before* touching the documents.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ConstraintSchema, IntegrityGuard, parse_document
+
+PUB_DTD = """
+<!ELEMENT dblp (pub)*>     <!ELEMENT pub (title, aut+)>
+<!ELEMENT title (#PCDATA)> <!ELEMENT aut (name)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+REV_DTD = """
+<!ELEMENT review (track)+> <!ELEMENT track (name, rev+)>
+<!ELEMENT name (#PCDATA)>  <!ELEMENT rev (name, sub+)>
+<!ELEMENT sub (title, auts+)> <!ELEMENT title (#PCDATA)>
+<!ELEMENT auts (name)>
+"""
+
+# Example 1: nobody reviews a paper written by a coauthor or themselves.
+CONFLICT_OF_INTEREST = """
+<- //rev[/name/text() -> R]/sub/auts/name/text() -> A
+   /\\ (A = R \\/ //pub[/aut/name/text() -> A /\\ aut/name/text() -> R])
+"""
+
+PUB_XML = """<dblp>
+  <pub><title>Duckburg tales</title>
+    <aut><name>Alice</name></aut><aut><name>Bob</name></aut></pub>
+</dblp>"""
+
+REV_XML = """<review>
+  <track><name>Databases</name>
+    <rev><name>Alice</name>
+      <sub><title>Streams</title><auts><name>Erin</name></auts></sub>
+    </rev>
+  </track>
+</review>"""
+
+
+def submission(author: str, title: str) -> str:
+    """An XUpdate statement assigning a new submission to Alice."""
+    return f"""<xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/review/track[1]/rev[1]">
+        <xupdate:element name="sub">
+          <title>{title}</title>
+          <auts><name>{author}</name></auts>
+        </xupdate:element>
+      </xupdate:append>
+    </xupdate:modifications>"""
+
+
+def main() -> None:
+    # -- schema design time ------------------------------------------------
+    schema = ConstraintSchema(
+        dtds=[PUB_DTD, REV_DTD],
+        constraints=[CONFLICT_OF_INTEREST],
+        names=["conflict_of_interest"],
+    )
+    schema.register_pattern(submission("someone", "something"))
+    print("Compiled design-time artifacts")
+    print("==============================")
+    print(schema.describe())
+
+    # -- run time ------------------------------------------------------------
+    pub_doc = parse_document(PUB_XML)
+    rev_doc = parse_document(REV_XML)
+    guard = IntegrityGuard(schema, [pub_doc, rev_doc])
+
+    print()
+    print("Guarding updates")
+    print("================")
+    for author, title in [
+        ("Newcomer", "Fresh Ideas"),   # fine
+        ("Alice", "Self Review"),      # Alice reviews herself
+        ("Bob", "Friendly Review"),    # Bob coauthored with Alice
+    ]:
+        decision = guard.try_execute(submission(author, title))
+        verdict = "accepted" if decision.legal else \
+            f"REJECTED ({', '.join(decision.violated)})"
+        print(f"  submission by {author!r:12} → {verdict}")
+
+    titles = [sub.first_child("title").text()
+              for sub in rev_doc.iter_elements("sub")]
+    print()
+    print(f"Submissions now assigned to Alice: {titles}")
+    assert titles == ["Streams", "Fresh Ideas"]
+
+
+if __name__ == "__main__":
+    main()

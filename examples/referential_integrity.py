@@ -1,0 +1,124 @@
+"""Referential integrity with negated constraints (library extension).
+
+The paper's related work singles out key/foreign-key constraints as the
+class earlier XML validators handled; the general framework covers them
+once denials may contain *negated subqueries* (``not(...)``), which
+this library implements following [16]'s treatment of negation.
+
+The scenario: a music catalog where
+
+* every track on an album must credit an artist that exists in the
+  artist registry (a foreign key, via ``not``);
+* artist names are unique (a key);
+* no album has more than 30 tracks (an aggregate).
+
+Watch how ``Simp`` turns the foreign key into a constant-time lookup:
+inserting a track only needs "does artist X exist?", and inserting an
+*artist* needs no referential check at all (it can only fix things).
+
+Run with::
+
+    python examples/referential_integrity.py
+"""
+
+from repro import ConstraintSchema, IntegrityGuard, parse_document
+
+CATALOG_DTD = """
+<!ELEMENT catalog (artist | album)*>
+<!ELEMENT artist (name, country?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT album (title, track+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT track (title, credit)>
+<!ELEMENT credit (#PCDATA)>
+"""
+
+CONSTRAINTS = {
+    # foreign key: every credit names a registered artist
+    "credit_exists": """
+        <- //track/credit/text() -> A
+           /\\ not(//artist[/name/text() -> A])
+    """,
+    # key: artist names are unique
+    "artist_unique": """
+        <- //artist[/name/text() -> N]/position() -> P1
+           /\\ //artist[/name/text() -> N]/position() -> P2
+           /\\ P1 < P2
+    """,
+    # capacity: at most 30 tracks per album title
+    "track_cap": """
+        <- Cnt_D{[T]; //album[/title/text() -> T]/track} > 30
+    """,
+}
+
+CATALOG_XML = """<catalog>
+  <artist><name>Holly Golightly</name></artist>
+  <artist><name>Miles Davis</name><country>US</country></artist>
+  <album><title>Kind of Blue</title>
+    <track><title>So What</title><credit>Miles Davis</credit></track>
+  </album>
+</catalog>"""
+
+
+def add_track(album_index: int, title: str, credit: str) -> str:
+    return f"""<xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/catalog/album[{album_index}]">
+        <track><title>{title}</title><credit>{credit}</credit></track>
+      </xupdate:append>
+    </xupdate:modifications>"""
+
+
+def add_artist(name: str) -> str:
+    return f"""<xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/catalog">
+        <artist><name>{name}</name></artist>
+      </xupdate:append>
+    </xupdate:modifications>"""
+
+
+def main() -> None:
+    schema = ConstraintSchema(
+        dtds=[CATALOG_DTD],
+        constraints=list(CONSTRAINTS.values()),
+        names=list(CONSTRAINTS),
+    )
+    schema.register_pattern(add_track(1, "x", "y"))
+    schema.register_pattern(add_artist("x"))
+    print(schema.describe())
+
+    document = parse_document(CATALOG_XML)
+    guard = IntegrityGuard(schema, [document])
+
+    audit: list[str] = []
+    guard.subscribe(lambda update, decision: audit.append(
+        "accepted" if decision.legal
+        else f"rejected({','.join(decision.violated)})"))
+
+    print()
+    steps = [
+        ("track credited to Miles Davis",
+         add_track(1, "Freddie Freeloader", "Miles Davis")),
+        ("track credited to an unknown artist",
+         add_track(1, "Mystery Jam", "John Doe")),
+        ("register John Doe first", add_artist("John Doe")),
+        ("now the same track again",
+         add_track(1, "Mystery Jam", "John Doe")),
+        ("duplicate artist registration", add_artist("Miles Davis")),
+    ]
+    for label, update in steps:
+        decision = guard.try_execute(update)
+        verdict = "accepted" if decision.legal \
+            else f"REJECTED ({', '.join(decision.violated)})"
+        print(f"  {label:40} → {verdict}")
+
+    print()
+    print("Audit trail (from the subscribe hook):", ", ".join(audit))
+    credits = sorted({c.text() for c in document.iter_elements("credit")})
+    print(f"Track credits in the catalog: {credits}")
+
+
+if __name__ == "__main__":
+    main()

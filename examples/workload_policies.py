@@ -1,0 +1,98 @@
+"""Aggregate policies: the conference-workload constraint up close.
+
+Walks through the paper's example 2 ("a reviewer involved in three or
+more tracks cannot review more than 10 papers") plus a hard per-name
+cap from the same aggregate family as example 7, showing
+
+* how the aggregate constraints compile to Datalog denials;
+* how ``Simp`` lowers the aggregate bounds (``> 10`` becomes ``> 9``,
+  ``> 12`` becomes ``> 11``) and pins the group to the update's target
+  reviewer;
+* threshold behaviour at run time: the same reviewer accepts
+  submissions right up to the cap and is refused the one that crosses
+  it.
+
+Run with::
+
+    python examples/workload_policies.py
+"""
+
+from repro import ConstraintSchema, IntegrityGuard, parse_document
+from repro.datagen.running_example import (
+    CONFERENCE_WORKLOAD,
+    PUB_DTD,
+    REV_DTD,
+    submission_xupdate,
+)
+
+# a hard cap, independent of tracks: nobody reviews more than 12
+# papers in total (same aggregate family as example 7)
+TOTAL_CAP = """
+<- Cnt_D{[R]; //rev[/name/text() -> R]/sub} > 12
+"""
+
+
+def build_rev_doc() -> str:
+    """Prof. Busy: 3 tracks, 9 submissions.  Dr. Calm: 1 track, 12."""
+    def sub(k):
+        return (f"<sub><title>S{k}</title>"
+                f"<auts><name>Author {k}</name></auts></sub>")
+
+    def rev(name, first, count):
+        subs = "".join(sub(k) for k in range(first, first + count))
+        return f"<rev><name>{name}</name>{subs}</rev>"
+
+    tracks = [
+        ("Databases", rev("Prof. Busy", 0, 4) + rev("Dr. Calm", 100, 12)),
+        ("Theory", rev("Prof. Busy", 10, 3)),
+        ("Systems", rev("Prof. Busy", 20, 2)),
+    ]
+    body = "".join(
+        f"<track><name>{name}</name>{revs}</track>"
+        for name, revs in tracks)
+    return f"<review>{body}</review>"
+
+
+def main() -> None:
+    schema = ConstraintSchema(
+        dtds=[PUB_DTD, REV_DTD],
+        constraints=[CONFERENCE_WORKLOAD, TOTAL_CAP],
+        names=["workload", "total_cap"],
+    )
+    schema.register_pattern(submission_xupdate(1, 1, "x", "y"))
+
+    print("Compiled constraints and simplified checks")
+    print("==========================================")
+    print(schema.describe())
+
+    rev_doc = parse_document(build_rev_doc())
+    pub_doc = parse_document("<dblp></dblp>")
+    guard = IntegrityGuard(schema, [pub_doc, rev_doc])
+
+    print()
+    print("Prof. Busy: 3 tracks, 9 subs.  Dr. Calm: 1 track, 12 subs.")
+    print("==========================================================")
+    steps = [
+        # (track, rev index within track, expectation)
+        (3, 1, "Busy's 10th submission (3 tracks, 10 <= 10)"),
+        (3, 1, "Busy's 11th submission (3 tracks, 11 > 10)"),
+        (1, 2, "Calm's 13th submission (1 track, but 13 > 12)"),
+    ]
+    for number, (track, rev, note) in enumerate(steps):
+        update = submission_xupdate(track, rev, f"Extra {number}",
+                                    f"Someone {number}")
+        decision = guard.try_execute(update)
+        verdict = "accepted" if decision.legal \
+            else f"REJECTED ({', '.join(decision.violated)})"
+        print(f"  {note:48} → {verdict}")
+
+    total = sum(
+        len(rev.element_children("sub"))
+        for rev in rev_doc.iter_elements("rev")
+        if rev.first_child("name").text() == "Prof. Busy")
+    print(f"\nProf. Busy ends at {total} submissions — exactly the",
+          "workload cap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Efficient integrity checking over XML documents.
+
+A complete reproduction of *Braga, Campi, Martinenghi: "Efficient
+Integrity Checking over XML Documents"* (EDBT 2006): declarative
+XPathLog constraints over XML are compiled to Datalog denials on a
+relational view of the documents, simplified at schema design time
+w.r.t. parametric XUpdate patterns, translated to XQuery, and evaluated
+*before* each update so that illegal updates are never executed.
+
+Quickstart::
+
+    from repro import ConstraintSchema, IntegrityGuard, parse_document
+
+    schema = ConstraintSchema(
+        dtds=[PUB_DTD, REV_DTD],
+        constraints=[CONFLICT_OF_INTEREST, WORKLOAD_POLICY],
+    )
+    schema.register_pattern(EXAMPLE_SUBMISSION_XUPDATE)
+
+    guard = IntegrityGuard(schema, [pub_doc, rev_doc])
+    decision = guard.try_execute(some_xupdate_text)
+
+See ``examples/quickstart.py`` for the full walk-through and
+``DESIGN.md`` for the architecture.
+"""
+
+from repro.errors import (
+    IntegrityViolationError,
+    ReproError,
+    SimplificationError,
+)
+from repro.xtree import (
+    DTD,
+    Document,
+    Element,
+    Text,
+    parse_document,
+    parse_dtd,
+    serialize,
+    validate,
+)
+from repro.relational import RelationalSchema, shred
+from repro.datalog import Denial, FactDatabase, denial_holds, denial_violations
+from repro.xpathlog import compile_constraint, parse_constraint
+from repro.simplify import UpdatePattern, freshness_hypotheses, simp
+from repro.xquery import evaluate_query, parse_query, translate_denials
+from repro.xupdate import analyze_operation, apply_text, parse_modifications
+from repro.core import (
+    BruteForceChecker,
+    ConstraintSchema,
+    DatalogChecker,
+    IntegrityGuard,
+    UpdateDecision,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntegrityViolationError",
+    "ReproError",
+    "SimplificationError",
+    "DTD",
+    "Document",
+    "Element",
+    "Text",
+    "parse_document",
+    "parse_dtd",
+    "serialize",
+    "validate",
+    "RelationalSchema",
+    "shred",
+    "Denial",
+    "FactDatabase",
+    "denial_holds",
+    "denial_violations",
+    "compile_constraint",
+    "parse_constraint",
+    "UpdatePattern",
+    "freshness_hypotheses",
+    "simp",
+    "evaluate_query",
+    "parse_query",
+    "translate_denials",
+    "analyze_operation",
+    "apply_text",
+    "parse_modifications",
+    "BruteForceChecker",
+    "ConstraintSchema",
+    "DatalogChecker",
+    "IntegrityGuard",
+    "UpdateDecision",
+    "__version__",
+]

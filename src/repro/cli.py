@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front-end over the library for shell use:
+
+* ``describe`` — compile DTDs + constraints and print the design-time
+  artifacts (relational schema, Datalog denials, simplified checks per
+  registered pattern);
+* ``check``    — verify documents against the constraints (full check);
+* ``guard``    — apply an XUpdate file under integrity control and
+  write the (possibly updated) documents back;
+* ``shred``    — print the relational facts of a document;
+* ``query``    — evaluate an XQuery expression over documents.
+
+Constraints are given one per ``--constraint`` (inline text) or via
+``--constraints-file`` (one denial per non-empty line; ``#`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import BruteForceChecker, ConstraintSchema, IntegrityGuard
+from repro.datalog.database import FactDatabase
+from repro.errors import ReproError
+from repro.relational.shredder import iter_facts
+from repro.xquery.engine import evaluate_query
+from repro.xquery.values import string_value
+from repro.xtree import parse_document, serialize
+from repro.xtree.node import Document
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _load_documents(paths: list[str]) -> list[Document]:
+    return [parse_document(_read(path)) for path in paths]
+
+
+def _load_constraints(args: argparse.Namespace) -> list[str]:
+    constraints = list(args.constraint or [])
+    if args.constraints_file:
+        for line in _read(args.constraints_file).splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                constraints.append(stripped)
+    if not constraints:
+        raise SystemExit("no constraints given "
+                         "(use --constraint / --constraints-file)")
+    return constraints
+
+
+def _build_schema(args: argparse.Namespace) -> ConstraintSchema:
+    dtds = [_read(path) for path in args.dtd]
+    schema = ConstraintSchema(dtds, _load_constraints(args))
+    for pattern_path in args.pattern or []:
+        schema.register_pattern(_read(pattern_path))
+    return schema
+
+
+def _add_schema_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dtd", action="append", required=True,
+                        help="DTD file (repeatable)")
+    parser.add_argument("--constraint", action="append",
+                        help="XPathLog denial text (repeatable)")
+    parser.add_argument("--constraints-file",
+                        help="file with one XPathLog denial per line")
+    parser.add_argument("--pattern", action="append",
+                        help="XUpdate file registered as update pattern "
+                             "(repeatable)")
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    schema = _build_schema(args)
+    print(schema.describe())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    schema = _build_schema(args)
+    documents = _load_documents(args.document)
+    violated = BruteForceChecker(schema, documents).check_only()
+    if violated:
+        print("INCONSISTENT; violated constraints: "
+              + ", ".join(violated))
+        return 1
+    print("consistent")
+    return 0
+
+
+def cmd_guard(args: argparse.Namespace) -> int:
+    schema = _build_schema(args)
+    documents = _load_documents(args.document)
+    guard = IntegrityGuard(schema, documents)
+    decision = guard.try_execute(_read(args.update))
+    if not decision.legal:
+        print("REJECTED; violated constraints: "
+              + ", ".join(decision.violated))
+        return 1
+    strategy = "optimized pre-check" if decision.optimized \
+        else "brute-force fallback"
+    print(f"accepted ({strategy})")
+    if args.in_place:
+        for path, document in zip(args.document, documents):
+            Path(path).write_text(serialize(document, indent=2) + "\n",
+                                  encoding="utf-8")
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_shred(args: argparse.Namespace) -> int:
+    schema = _build_schema(args) if args.constraint \
+        or args.constraints_file else None
+    if schema is None:
+        from repro.relational.schema import RelationalSchema
+        from repro.xtree.dtd import parse_dtd
+        relational = RelationalSchema.from_dtds(
+            [parse_dtd(_read(path)) for path in args.dtd])
+    else:
+        relational = schema.relational
+    database = FactDatabase()
+    for path in args.document:
+        document = parse_document(_read(path))
+        for predicate, row in iter_facts(document, relational):
+            database.add(predicate, row)
+    for predicate in sorted(database.predicates()):
+        for row in database.rows(predicate):
+            rendered = ", ".join(
+                "null" if value is None else repr(value) for value in row)
+            print(f"{predicate}({rendered})")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    documents = _load_documents(args.document)
+    result = evaluate_query(args.expression, documents)
+    for item in result:
+        if hasattr(item, "tag"):
+            from repro.xtree.serializer import serialize_fragment
+            print(serialize_fragment(item))
+        else:
+            print(string_value(item))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient integrity checking over XML documents "
+                    "(EDBT 2006)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser(
+        "describe", help="print the compiled design-time artifacts")
+    _add_schema_arguments(describe)
+    describe.set_defaults(handler=cmd_describe)
+
+    check = commands.add_parser(
+        "check", help="full consistency check of documents")
+    _add_schema_arguments(check)
+    check.add_argument("document", nargs="+", help="XML document file")
+    check.set_defaults(handler=cmd_check)
+
+    guard = commands.add_parser(
+        "guard", help="apply an XUpdate file under integrity control")
+    _add_schema_arguments(guard)
+    guard.add_argument("--update", required=True,
+                       help="XUpdate modification file")
+    guard.add_argument("--in-place", action="store_true",
+                       help="write updated documents back to their files")
+    guard.add_argument("document", nargs="+", help="XML document file")
+    guard.set_defaults(handler=cmd_guard)
+
+    shred = commands.add_parser(
+        "shred", help="print the relational facts of documents")
+    shred.add_argument("--dtd", action="append", required=True)
+    shred.add_argument("--constraint", action="append",
+                       help=argparse.SUPPRESS)
+    shred.add_argument("--constraints-file", help=argparse.SUPPRESS)
+    shred.add_argument("document", nargs="+", help="XML document file")
+    shred.set_defaults(handler=cmd_shred)
+
+    query = commands.add_parser(
+        "query", help="evaluate an XQuery expression over documents")
+    query.add_argument("expression", help="XQuery text")
+    query.add_argument("document", nargs="+", help="XML document file")
+    query.set_defaults(handler=cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

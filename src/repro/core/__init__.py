@@ -1,0 +1,44 @@
+"""The integrity-checking system: design-time compiler + run-time guards.
+
+This is the paper's primary contribution assembled from the substrate
+packages:
+
+* :class:`ConstraintSchema` — the *schema design time* artifact: DTDs
+  are compiled to the relational schema, XPathLog constraints to
+  Datalog denials and full XQuery checks, and every registered update
+  pattern gets its simplified (``Simp``) denials translated to
+  parameterized XQuery templates;
+* :class:`IntegrityGuard` — the optimized run-time strategy: a concrete
+  update is matched against the known patterns, the pre-compiled
+  optimized check is instantiated and evaluated *before* the update,
+  and the update executes only when legal (early detection —
+  inconsistent states are never materialized);
+* :class:`BruteForceChecker` — the baseline strategy: apply the update,
+  evaluate the full constraints, roll back on violation;
+* :class:`DatalogChecker` — evaluation of the same checks directly on
+  the shredded fact database (used by tests and the engine ablation).
+"""
+
+from repro.core.schema import (
+    CompiledConstraint,
+    ConstraintSchema,
+    OptimizedCheck,
+    PatternChecks,
+)
+from repro.core.guard import (
+    BruteForceChecker,
+    DatalogChecker,
+    IntegrityGuard,
+    UpdateDecision,
+)
+
+__all__ = [
+    "CompiledConstraint",
+    "ConstraintSchema",
+    "OptimizedCheck",
+    "PatternChecks",
+    "BruteForceChecker",
+    "DatalogChecker",
+    "IntegrityGuard",
+    "UpdateDecision",
+]

@@ -1,0 +1,396 @@
+"""Run-time checking strategies.
+
+Three checkers share one interface (``try_execute`` / ``execute``):
+
+* :class:`IntegrityGuard` — the paper's optimized strategy: match the
+  update against a registered pattern, instantiate the pre-compiled
+  simplified XQuery checks with the update's parameters, evaluate them
+  on the *present* documents, and only then apply the update.  Illegal
+  updates are never executed (early detection).  Updates that match no
+  pattern fall back to the brute-force path, as footnote 4 prescribes.
+* :class:`BruteForceChecker` — the un-optimized baseline: apply the
+  update, evaluate the full constraints on the updated documents, and
+  roll back (compensating action) when a violation appears.
+* :class:`DatalogChecker` — evaluates the same (full or simplified)
+  denials directly on a shredded fact database; the differential oracle
+  for the XQuery engine and the subject of the engine ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schema import ConstraintSchema, PatternChecks
+from repro.datalog.database import FactDatabase
+from repro.datalog.denial import Denial
+from repro.datalog.evaluate import denial_holds
+from repro.datalog.subst import ParameterBinding
+from repro.datalog.terms import Constant, Parameter
+from repro.errors import (
+    IntegrityViolationError,
+    SimplificationError,
+    UpdateApplicationError,
+)
+from repro.relational.shredder import shred, subtree_facts
+from repro.xquery.engine import query_truth
+from repro.xtree.node import Document, Element
+from repro.xupdate.analyze import signature_of
+from repro.xupdate.apply import AppliedOperation, apply_operation
+from repro.xupdate.parser import (
+    InsertOperation,
+    Operation,
+    RemoveOperation,
+    parse_modifications,
+)
+
+
+@dataclass
+class UpdateDecision:
+    """Outcome of submitting an update to a checker."""
+
+    legal: bool
+    violated: list[str] = field(default_factory=list)
+    #: True when the optimized (pre-update) strategy decided the outcome
+    optimized: bool = True
+    #: True when the update is now applied to the documents
+    applied: bool = False
+    #: True when an illegal update was applied and rolled back
+    rolled_back: bool = False
+
+
+class _CheckerBase:
+    def __init__(self, schema: ConstraintSchema,
+                 documents: list[Document]) -> None:
+        self.schema = schema
+        self.documents = list(documents)
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(update, decision)``, called after every
+        :meth:`try_execute` — the hook for trigger-style maintenance
+        (the paper's future-work direction): audit logs, materialized
+        views, notifications on rejections."""
+        self._listeners.append(listener)
+
+    def _notify(self, update: "str | Operation",
+                decision: UpdateDecision) -> UpdateDecision:
+        for listener in self._listeners:
+            listener(update, decision)
+        return decision
+
+    def _document_for(self, operation: Operation) -> Document:
+        """The document a select path resolves in.
+
+        The select's first step names the document root; the collection
+        holds one document per root type.
+        """
+        select = operation.select
+        first = select.lstrip("/").split("/")[0].split("[")[0]
+        for document in self.documents:
+            if document.root.tag == first:
+                return document
+        # descendant-anchored selects: try them all
+        for document in self.documents:
+            try:
+                from repro.xupdate.apply import resolve_select
+                resolve_select(document, select)
+                return document
+            except UpdateApplicationError:
+                continue
+        raise UpdateApplicationError(
+            f"select {select!r} resolves in none of the documents")
+
+    def verify_consistency(self) -> list[str]:
+        """Names of constraints currently violated (full check)."""
+        violated = []
+        for constraint in self.schema.constraints:
+            for query in constraint.full_queries:
+                if query.parameters:
+                    raise SimplificationError(
+                        "full constraint checks cannot have parameters")
+                if query_truth(query.text, self.documents):
+                    violated.append(constraint.name)
+                    break
+        return violated
+
+    def execute(self, update: "str | Operation") -> UpdateDecision:
+        """Like :meth:`try_execute` but raises on violation."""
+        decision = self.try_execute(update)
+        if not decision.legal:
+            raise IntegrityViolationError(decision.violated)
+        return decision
+
+    def try_execute(self, update: "str | Operation") -> UpdateDecision:
+        raise NotImplementedError
+
+    @staticmethod
+    def _operations(update: "str | Operation") -> list[Operation]:
+        if isinstance(update, str):
+            return parse_modifications(update)
+        return [update]
+
+
+class BruteForceChecker(_CheckerBase):
+    """Apply, check the full constraints, roll back on violation."""
+
+    def try_execute(self, update: "str | Operation") -> UpdateDecision:
+        operations = self._operations(update)
+        applied: list[AppliedOperation] = []
+        for operation in operations:
+            document = self._document_for(operation)
+            applied.append(apply_operation(document, operation))
+        violated = self.verify_consistency()
+        if violated:
+            for record in reversed(applied):
+                record.rollback()
+            return self._notify(update, UpdateDecision(
+                False, violated, optimized=False, applied=False,
+                rolled_back=True))
+        return self._notify(update,
+                            UpdateDecision(True, optimized=False,
+                                           applied=True))
+
+    def check_only(self) -> list[str]:
+        """Run the full checks without touching the documents."""
+        return self.verify_consistency()
+
+
+class IntegrityGuard(_CheckerBase):
+    """Pre-update checking with the compiled optimized constraints."""
+
+    def try_execute(self, update: "str | Operation") -> UpdateDecision:
+        operations = self._operations(update)
+        if len(operations) > 1:
+            transaction = self._try_transaction(operations)
+            if transaction is not None:
+                return self._notify(update, transaction)
+        decision = UpdateDecision(True, optimized=True)
+        applied: list[AppliedOperation] = []
+        for operation in operations:
+            step = self._check_one(operation)
+            if not step.legal:
+                for record in reversed(applied):
+                    record.rollback()
+                step.applied = False
+                step.rolled_back = bool(applied)
+                return self._notify(update, step)
+            decision.optimized = decision.optimized and step.optimized
+            document = self._document_for(operation)
+            applied.append(apply_operation(document, operation))
+        decision.applied = True
+        return self._notify(update, decision)
+
+    def _try_transaction(
+            self, operations: list[Operation]) -> UpdateDecision | None:
+        """Deferred checking for a registered multi-append transaction.
+
+        The whole operation set is checked *once* against the
+        pre-transaction state (definition 2's transaction semantics:
+        constraints need not hold between the operations); ``None``
+        means no transaction pattern matches and the caller falls back
+        to per-operation checking.
+        """
+        from repro.xupdate.parser import InsertOperation as _Insert
+        if not all(isinstance(op, _Insert) and op.kind == "append"
+                   for op in operations):
+            return None
+        try:
+            signatures = tuple(
+                signature_of(operation, self.schema.relational)
+                for operation in operations)
+        except SimplificationError:
+            return None
+        checks = self.schema.checks_for_transaction(signatures)
+        if checks is None:
+            return None
+        bindings = checks.analyzed.bind(
+            self.documents, operations,  # type: ignore[arg-type]
+            self._document_for)
+        violated: list[str] = []
+        for check in checks.optimized:
+            if check.trivial:
+                continue
+            for query in check.queries:
+                if query_truth(query.instantiate(bindings),
+                               self.documents):
+                    violated.append(check.constraint.name)
+                    break
+        if checks.fallback:
+            probe = self._transaction_probe(
+                operations, [c.name for c in checks.fallback])
+            violated.extend(probe)
+        if violated:
+            return UpdateDecision(False, violated, optimized=True)
+        for operation in operations:
+            document = self._document_for(operation)
+            apply_operation(document, operation)
+        return UpdateDecision(True, optimized=True, applied=True)
+
+    def _transaction_probe(self, operations: list[Operation],
+                           only: list[str]) -> list[str]:
+        """Apply all, check the given constraints, roll everything back."""
+        applied: list[AppliedOperation] = []
+        try:
+            for operation in operations:
+                document = self._document_for(operation)
+                applied.append(apply_operation(document, operation))
+            return [name for name in self.verify_consistency()
+                    if name in only]
+        finally:
+            for record in reversed(applied):
+                record.rollback()
+
+    def _check_one(self, operation: Operation) -> UpdateDecision:
+        if isinstance(operation, RemoveOperation):
+            return self._check_removal(operation)
+        checks = self._checks_for(operation)
+        if checks is None:
+            return self._brute_force_probe(operation)
+        assert isinstance(operation, InsertOperation)
+        document = self._document_for(operation)
+        bindings = checks.analyzed.bind(document, operation)
+        violated: list[str] = []
+        for check in checks.optimized:
+            if check.trivial:
+                continue
+            for query in check.queries:
+                text = query.instantiate(bindings)
+                if query_truth(text, self.documents):
+                    violated.append(check.constraint.name)
+                    break
+        if checks.fallback:
+            probe = self._brute_force_probe(
+                operation, [c.name for c in checks.fallback])
+            violated.extend(probe.violated)
+            if not probe.optimized:
+                return UpdateDecision(not violated, violated,
+                                      optimized=False)
+        return UpdateDecision(not violated, violated, optimized=True)
+
+    def _check_removal(self, operation: RemoveOperation) -> UpdateDecision:
+        """Deletions against monotone constraints need no check at all.
+
+        Removing tuples cannot create a new satisfying binding for a
+        positive denial body with upward-monotone aggregates (see
+        repro.simplify.deletion); constraints outside that fragment are
+        verified by the brute-force probe.
+        """
+        from repro.simplify.deletion import deletion_safe
+        unsafe = [
+            constraint.name for constraint in self.schema.constraints
+            if any(not deletion_safe(denial)
+                   for denial in constraint.denials)
+        ]
+        if not unsafe:
+            return UpdateDecision(True, optimized=True)
+        return self._brute_force_probe(operation, only=unsafe)
+
+    def _checks_for(self, operation: Operation) -> PatternChecks | None:
+        try:
+            signature = signature_of(operation, self.schema.relational)
+        except SimplificationError:
+            return None
+        return self.schema.checks_for(signature)
+
+    def _brute_force_probe(self, operation: Operation,
+                           only: list[str] | None = None) -> UpdateDecision:
+        """Apply-check-rollback for unrecognized updates (footnote 4).
+
+        The update is applied, the (full) constraints are checked, and
+        the update is always rolled back — the caller re-applies it if
+        the probe reports legality, keeping a single application path.
+        """
+        document = self._document_for(operation)
+        record = apply_operation(document, operation)
+        try:
+            violated = [
+                name for name in self.verify_consistency()
+                if only is None or name in only
+            ]
+        finally:
+            record.rollback()
+        return UpdateDecision(not violated, violated, optimized=False)
+
+
+class DatalogChecker:
+    """Direct Datalog evaluation over the shredded fact database."""
+
+    def __init__(self, schema: ConstraintSchema,
+                 documents: list[Document]) -> None:
+        self.schema = schema
+        self.documents = list(documents)
+        self.database = FactDatabase()
+        for document in documents:
+            shred(document, schema.relational, self.database)
+
+    def violated_constraints(self) -> list[str]:
+        """Names of constraints violated in the mirrored database."""
+        violated = []
+        for constraint in self.schema.constraints:
+            if any(not denial_holds(denial, self.database)
+                   for denial in constraint.denials):
+                violated.append(constraint.name)
+        return violated
+
+    def violation_witnesses(
+            self,
+            limit_per_constraint: int = 10) -> dict[str, list[dict]]:
+        """Violating bindings per constraint, for error reporting.
+
+        Each witness maps the denial's named variables to the values
+        that satisfy its body — e.g. the reviewer name and the ids of
+        the conflicting nodes.  Anonymous variables are omitted.
+        """
+        from repro.datalog.evaluate import denial_violations
+        from repro.datalog.terms import is_anonymous
+
+        witnesses: dict[str, list[dict]] = {}
+        for constraint in self.schema.constraints:
+            found: list[dict] = []
+            for denial in constraint.denials:
+                for substitution in denial_violations(
+                        denial, self.database,
+                        limit=limit_per_constraint - len(found)):
+                    found.append({
+                        variable.name: term.value
+                        for variable, term in substitution.items()
+                        if not is_anonymous(variable)
+                        and "#" not in variable.name
+                    })
+                if len(found) >= limit_per_constraint:
+                    break
+            if found:
+                witnesses[constraint.name] = found
+        return witnesses
+
+    def check_denials(self, denials: list[Denial],
+                      bindings: dict[str, object]) -> bool:
+        """Evaluate simplified denials with instantiated parameters.
+
+        Returns True when some denial is violated.  Node bindings are
+        mapped to their node identifiers.
+        """
+        mapping: dict[Parameter, Constant] = {}
+        for name, value in bindings.items():
+            if isinstance(value, Element):
+                mapping[Parameter(name)] = Constant(value.node_id)
+            else:
+                mapping[Parameter(name)] = Constant(value)  # type: ignore
+        binder = ParameterBinding(mapping)
+        for denial in denials:
+            instantiated = Denial(tuple(
+                binder.apply_literal(literal) for literal in denial.body))
+            if not denial_holds(instantiated, self.database):
+                return True
+        return False
+
+    def mirror_insert(self, inserted_root: Element) -> list:
+        """Add the facts of a freshly inserted subtree."""
+        facts = subtree_facts(inserted_root, self.schema.relational)
+        for predicate, row in facts:
+            self.database.add(predicate, row)
+        return facts
+
+    def mirror_remove(self, facts: list) -> None:
+        for predicate, row in facts:
+            self.database.remove(predicate, row)

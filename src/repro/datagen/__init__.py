@@ -1,0 +1,49 @@
+"""Synthetic data and workloads for the paper's evaluation.
+
+The paper generated its datasets by remapping DBLP into the running
+example's schema.  Without that dump, :mod:`repro.datagen.corpus`
+produces deterministic DBLP-like documents (``pub.xml`` + ``rev.xml``)
+with controllable size, and :mod:`repro.datagen.workload` produces
+legal and illegal update statements for both benchmark constraints.
+:mod:`repro.datagen.running_example` holds the canonical DTDs,
+constraints and update statements of sections 3.2-5.1, shared by the
+tests, the examples and the benchmarks.
+"""
+
+from repro.datagen.running_example import (
+    CONFLICT_OF_INTEREST,
+    CONFERENCE_WORKLOAD,
+    PUB_DTD,
+    REV_DTD,
+    SECTION_4_1_XUPDATE,
+    make_schema,
+    submission_xupdate,
+)
+from repro.datagen.corpus import (
+    CorpusSpec,
+    corpus_size_bytes,
+    generate_corpus,
+    spec_for_size,
+)
+from repro.datagen.workload import (
+    illegal_submission,
+    legal_submission,
+    busy_reviewer_targets,
+)
+
+__all__ = [
+    "CONFLICT_OF_INTEREST",
+    "CONFERENCE_WORKLOAD",
+    "PUB_DTD",
+    "REV_DTD",
+    "SECTION_4_1_XUPDATE",
+    "make_schema",
+    "submission_xupdate",
+    "CorpusSpec",
+    "corpus_size_bytes",
+    "generate_corpus",
+    "spec_for_size",
+    "illegal_submission",
+    "legal_submission",
+    "busy_reviewer_targets",
+]

@@ -1,0 +1,163 @@
+"""Deterministic DBLP-like corpus generation.
+
+The generator produces a ``rev.xml`` (tracks / reviewers / submissions)
+and a matching ``pub.xml`` (publications with coauthor lists) that are
+*consistent* with both running-example constraints, plus a controllable
+population of "busy" reviewers who sit exactly at the conference-
+workload threshold (3 tracks, 10 submissions) so that a single extra
+submission flips them — the illegal-update scenario of figure 1(b).
+
+Reviewer names never occur as authors, so the base corpus cannot
+violate the conflict-of-interest constraint; illegal conflict updates
+are produced by :mod:`repro.datagen.workload`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.xtree.node import Document, Element, Text
+from repro.xtree.serializer import serialize
+
+_FIRST = ["Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "John",
+          "Leslie", "Tim", "Radia", "Frances", "Niklaus", "Tony", "Edgar",
+          "Stephen", "Shafi", "Silvio", "Manuel", "Robin", "Dana"]
+_LAST = ["Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth",
+         "Backus", "Lamport", "Berners-Lee", "Perlman", "Allen", "Wirth",
+         "Hoare", "Codd", "Cook", "Goldwasser", "Micali", "Blum",
+         "Milner", "Scott"]
+_TOPICS = ["Streams", "Indexes", "Joins", "Views", "Schemas", "Queries",
+           "Transactions", "Caches", "Graphs", "Trees", "Logs", "Keys"]
+_ADJECTIVES = ["Adaptive", "Incremental", "Efficient", "Scalable",
+               "Declarative", "Distributed", "Robust", "Optimal",
+               "Practical", "Unified"]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Knobs of the corpus generator."""
+
+    tracks: int = 4
+    revs_per_track: int = 10
+    subs_per_rev: int = 6
+    auts_per_sub: int = 2
+    pubs: int = 120
+    auts_per_pub: int = 2
+    busy_reviewers: int = 2
+    author_pool: int = 200
+    seed: int = 2006
+
+    def scaled(self, factor: float) -> "CorpusSpec":
+        """A spec with roughly ``factor`` times the volume."""
+        return replace(
+            self,
+            revs_per_track=max(1, round(self.revs_per_track * factor)),
+            pubs=max(1, round(self.pubs * factor)),
+        )
+
+
+def _author_name(rng: random.Random, pool: int) -> str:
+    index = rng.randrange(pool)
+    first = _FIRST[index % len(_FIRST)]
+    last = _LAST[(index // len(_FIRST)) % len(_LAST)]
+    return f"{first} {last} {index}"
+
+
+def _reviewer_name(track: int, position: int) -> str:
+    return f"Reviewer {track}-{position}"
+
+
+def _title(rng: random.Random) -> str:
+    return (f"{rng.choice(_ADJECTIVES)} {rng.choice(_TOPICS)} for "
+            f"{rng.choice(_TOPICS)} {rng.randrange(10000)}")
+
+
+def _text_element(tag: str, value: str) -> Element:
+    element = Element(tag)
+    element.append(Text(value))
+    return element
+
+
+def _sub(rng: random.Random, spec: CorpusSpec) -> Element:
+    sub = Element("sub")
+    sub.append(_text_element("title", _title(rng)))
+    count = 1 + rng.randrange(spec.auts_per_sub)
+    names = {_author_name(rng, spec.author_pool) for _ in range(count)}
+    for name in sorted(names):
+        auts = Element("auts")
+        auts.append(_text_element("name", name))
+        sub.append(auts)
+    return sub
+
+
+def _rev(rng: random.Random, spec: CorpusSpec, name: str,
+         subs: int) -> Element:
+    rev = Element("rev")
+    rev.append(_text_element("name", name))
+    for _ in range(max(1, subs)):
+        rev.append(_sub(rng, spec))
+    return rev
+
+
+def generate_corpus(spec: CorpusSpec) -> tuple[Document, Document]:
+    """Generate ``(pub_doc, rev_doc)`` for a spec.
+
+    Busy reviewers (named ``Busy Reviewer k``) appear in the first
+    three tracks and hold 10 submissions in total (4+3+3) — consistent,
+    but one submission away from violating the workload policy.
+    """
+    rng = random.Random(spec.seed)
+    review = Element("review")
+    busy = min(spec.busy_reviewers,
+               spec.revs_per_track) if spec.tracks >= 3 else 0
+    busy_subs = {0: 4, 1: 3, 2: 3}  # 10 in total across three tracks
+    for track_index in range(spec.tracks):
+        track = Element("track")
+        track.append(_text_element("name", f"Track {track_index + 1}"))
+        for rev_index in range(spec.revs_per_track):
+            if track_index < 3 and rev_index < busy:
+                name = f"Busy Reviewer {rev_index + 1}"
+                subs = busy_subs[track_index]
+            else:
+                name = _reviewer_name(track_index + 1, rev_index + 1)
+                subs = spec.subs_per_rev
+            track.append(_rev(rng, spec, name, subs))
+        review.append(track)
+    rev_doc = Document(review)
+
+    dblp = Element("dblp")
+    for _ in range(spec.pubs):
+        pub = Element("pub")
+        pub.append(_text_element("title", _title(rng)))
+        count = 1 + rng.randrange(spec.auts_per_pub)
+        names = {_author_name(rng, spec.author_pool) for _ in range(count)}
+        for name in sorted(names):
+            aut = Element("aut")
+            aut.append(_text_element("name", name))
+            pub.append(aut)
+        dblp.append(pub)
+    pub_doc = Document(dblp)
+    return pub_doc, rev_doc
+
+
+def corpus_size_bytes(documents: tuple[Document, Document]) -> int:
+    """Total serialized size of a corpus, in bytes."""
+    return sum(len(serialize(doc).encode()) for doc in documents)
+
+
+def spec_for_size(target_bytes: int, base: CorpusSpec | None = None
+                  ) -> CorpusSpec:
+    """A spec whose corpus serializes to roughly ``target_bytes``.
+
+    One small probe corpus is generated to measure the bytes-per-unit
+    cost, then the spec is scaled linearly (the per-reviewer and
+    per-publication costs dominate).
+    """
+    base = base or CorpusSpec()
+    probe_spec = base.scaled(0.25) if base.revs_per_track >= 4 else base
+    probe = generate_corpus(probe_spec)
+    probe_bytes = corpus_size_bytes(probe)
+    factor = target_bytes / probe_bytes * (
+        probe_spec.revs_per_track / base.revs_per_track)
+    return base.scaled(factor)

@@ -1,0 +1,109 @@
+"""The paper's running example: DTDs, constraints, updates.
+
+Everything here is verbatim from the paper (sections 3.2, 4.1, 5.1) in
+the library's concrete syntaxes.
+"""
+
+from __future__ import annotations
+
+#: DTD of ``pub.xml`` (section 3.2)
+PUB_DTD = """
+<!ELEMENT dblp (pub)*>
+<!ELEMENT pub (title, aut+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT aut (name)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+#: DTD of ``rev.xml`` (section 3.2)
+REV_DTD = """
+<!ELEMENT review (track)+>
+<!ELEMENT track (name, rev+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT rev (name, sub+)>
+<!ELEMENT sub (title, auts+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT auts (name)>
+"""
+
+#: Example 1 — no conflict of interest in the review process: nobody
+#: reviews a paper written by a coauthor or by him/herself.
+CONFLICT_OF_INTEREST = """
+<- //rev[/name/text() -> R]/sub/auts/name/text() -> A
+   /\\ (A = R \\/ //pub[/aut/name/text() -> A /\\ aut/name/text() -> R])
+"""
+
+#: Example 2 — a reviewer involved in three or more tracks cannot
+#: review more than 10 papers.
+CONFERENCE_WORKLOAD = """
+<- Cnt_D{[R]; //track[/rev/name/text() -> R]} >= 3
+   /\\ Cnt_D{[R]; //rev[/name/text() -> R]/sub} > 10
+"""
+
+#: The XUpdate statement of section 4.1.
+SECTION_4_1_XUPDATE = """<?xml version="1.0"?>
+<xupdate:modifications version="1.0"
+    xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:insert-after select="/review/track[2]/rev[5]/sub[6]">
+    <xupdate:element name="sub">
+      <title> Taming Web Services </title>
+      <auts> <name> Jack </name> </auts>
+    </xupdate:element>
+  </xupdate:insert-after>
+</xupdate:modifications>"""
+
+
+def submission_xupdate(track: int, rev: int, title: str, author: str,
+                       kind: str = "append") -> str:
+    """An XUpdate statement adding a single-author submission.
+
+    ``kind="append"`` appends the submission to the reviewer (the
+    update pattern U of example 6); ``kind="after"`` inserts it after
+    the reviewer's last existing submission.
+    """
+    if kind == "append":
+        select = f"/review/track[{track}]/rev[{rev}]"
+        opening = f'<xupdate:append select="{select}">'
+        closing = "</xupdate:append>"
+    else:
+        select = f"/review/track[{track}]/rev[{rev}]/sub[1]"
+        opening = f'<xupdate:insert-after select="{select}">'
+        closing = "</xupdate:insert-after>"
+    return f"""<?xml version="1.0"?>
+<xupdate:modifications version="1.0"
+    xmlns:xupdate="http://www.xmldb.org/xupdate">
+  {opening}
+    <xupdate:element name="sub">
+      <title>{_escape(title)}</title>
+      <auts><name>{_escape(author)}</name></auts>
+    </xupdate:element>
+  {closing}
+</xupdate:modifications>"""
+
+
+def _escape(value: str) -> str:
+    return (value.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def make_schema(register_submission_pattern: bool = True):
+    """The compiled :class:`repro.core.ConstraintSchema` of the paper.
+
+    Contains both running-example constraints; when
+    ``register_submission_pattern`` is set, the single-author submission
+    insertion pattern (example 6) is registered for both ``append`` and
+    ``insert-after`` forms.
+    """
+    from repro.core.schema import ConstraintSchema
+
+    schema = ConstraintSchema(
+        dtds=[PUB_DTD, REV_DTD],
+        constraints=[CONFLICT_OF_INTEREST, CONFERENCE_WORKLOAD],
+        names=["conflict_of_interest", "conference_workload"],
+    )
+    if register_submission_pattern:
+        schema.register_pattern(
+            submission_xupdate(1, 1, "x", "y", kind="append"))
+        schema.register_pattern(
+            submission_xupdate(1, 1, "x", "y", kind="after"))
+    return schema

@@ -1,0 +1,85 @@
+"""Update-workload generation for the benchmarks.
+
+Produces XUpdate statements (single-author submission insertions — the
+pattern U of example 6) that are known-legal or known-illegal w.r.t.
+the running-example constraints, targeting reviewers of a generated
+corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.running_example import submission_xupdate
+from repro.xtree.node import Document, Element
+
+
+def _tracks(rev_doc: Document) -> list[Element]:
+    return rev_doc.root.element_children("track")
+
+
+def _reviewer_name(rev: Element) -> str:
+    child = rev.first_child("name")
+    return child.text() if child is not None else ""
+
+
+def busy_reviewer_targets(rev_doc: Document) -> list[tuple[int, int, str]]:
+    """(track index, rev index, name) of the workload-threshold reviewers."""
+    targets = []
+    for track_number, track in enumerate(_tracks(rev_doc), start=1):
+        for rev_number, rev in enumerate(
+                track.element_children("rev"), start=1):
+            name = _reviewer_name(rev)
+            if name.startswith("Busy Reviewer"):
+                targets.append((track_number, rev_number, name))
+    return targets
+
+
+def _normal_reviewer_targets(rev_doc: Document) -> list[tuple[int, int, str]]:
+    targets = []
+    for track_number, track in enumerate(_tracks(rev_doc), start=1):
+        for rev_number, rev in enumerate(
+                track.element_children("rev"), start=1):
+            name = _reviewer_name(rev)
+            if not name.startswith("Busy Reviewer"):
+                targets.append((track_number, rev_number, name))
+    return targets
+
+
+def legal_submission(rev_doc: Document, rng: random.Random,
+                     kind: str = "append") -> str:
+    """An insertion that violates neither constraint.
+
+    Targets a non-busy reviewer with a brand-new author name (never a
+    reviewer, never a publication author).
+    """
+    track, rev, _ = rng.choice(_normal_reviewer_targets(rev_doc))
+    author = f"Fresh Author {rng.randrange(10 ** 9)}"
+    title = f"New Submission {rng.randrange(10 ** 9)}"
+    return submission_xupdate(track, rev, title, author, kind=kind)
+
+
+def illegal_submission(rev_doc: Document, rng: random.Random,
+                       constraint: str = "conflict",
+                       kind: str = "append") -> str:
+    """An insertion that violates one of the constraints.
+
+    * ``constraint="conflict"`` — the submission's author *is* the
+      assigned reviewer (the ``A = R`` branch of example 1);
+    * ``constraint="workload"`` — an 11th submission for a busy
+      reviewer already sitting in three tracks with 10 submissions.
+    """
+    if constraint == "conflict":
+        track, rev, reviewer = rng.choice(
+            _normal_reviewer_targets(rev_doc))
+        title = f"Conflicted Submission {rng.randrange(10 ** 9)}"
+        return submission_xupdate(track, rev, title, reviewer, kind=kind)
+    if constraint == "workload":
+        targets = busy_reviewer_targets(rev_doc)
+        if not targets:
+            raise ValueError("corpus has no busy reviewers")
+        track, rev, _ = rng.choice(targets)
+        author = f"Fresh Author {rng.randrange(10 ** 9)}"
+        title = f"Overload Submission {rng.randrange(10 ** 9)}"
+        return submission_xupdate(track, rev, title, author, kind=kind)
+    raise ValueError(f"unknown constraint kind {constraint!r}")

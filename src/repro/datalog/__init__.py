@@ -1,0 +1,65 @@
+"""Datalog kernel: the deductive-database substrate of the paper.
+
+Constraints are *denials* — headless clauses whose body must never be
+satisfiable (section 4.2).  This package provides the term and literal
+language (including the boldface *parameters* of section 5 that stand
+for constants supplied at update time, and the aggregate conditions of
+section 3.1), substitutions and unification, θ-subsumption between
+denials (the workhorse of the ``Optimize`` transformation), a fact
+database with secondary indexes, and a conjunctive-query evaluator used
+both for direct checking and for differential testing of the XQuery
+engine.
+"""
+
+from repro.datalog.terms import (
+    ANONYMOUS_PREFIX,
+    Arithmetic,
+    Constant,
+    Parameter,
+    Term,
+    Variable,
+    fresh_variable,
+    is_anonymous,
+)
+from repro.datalog.atoms import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Literal,
+    Negation,
+    negate_comparison,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.subst import Substitution
+from repro.datalog.unify import match_terms, unify_atoms, unify_terms
+from repro.datalog.subsume import subsumes
+from repro.datalog.database import FactDatabase
+from repro.datalog.evaluate import denial_holds, denial_violations
+
+__all__ = [
+    "ANONYMOUS_PREFIX",
+    "Arithmetic",
+    "Constant",
+    "Parameter",
+    "Term",
+    "Variable",
+    "fresh_variable",
+    "is_anonymous",
+    "Aggregate",
+    "AggregateCondition",
+    "Atom",
+    "Comparison",
+    "Literal",
+    "Negation",
+    "negate_comparison",
+    "Denial",
+    "Substitution",
+    "match_terms",
+    "unify_atoms",
+    "unify_terms",
+    "subsumes",
+    "FactDatabase",
+    "denial_holds",
+    "denial_violations",
+]

@@ -1,0 +1,182 @@
+"""Denials: headless clauses expressing integrity constraints.
+
+A denial ``← L1 ∧ ... ∧ Ln`` holds in a state iff no variable binding
+satisfies all body literals (definition in section 4.2).  Variables are
+implicitly universally quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.atoms import (
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Literal,
+    Negation,
+)
+from repro.datalog.subst import Substitution
+from repro.datalog.terms import Parameter, Variable, fresh_variable
+
+
+@dataclass(frozen=True)
+class Denial:
+    """An integrity constraint in denial form."""
+
+    body: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError(
+                "a denial needs a non-empty body (an empty body would "
+                "forbid every database state)")
+
+    # -- inspection ---------------------------------------------------------
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for literal in self.body:
+            result |= literal.variables()
+        return result
+
+    def parameters(self) -> set[Parameter]:
+        result: set[Parameter] = set()
+        for literal in self.body:
+            result |= literal.parameters()
+        return result
+
+    def atoms(self) -> tuple[Atom, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Comparison))
+
+    def aggregate_conditions(self) -> tuple[AggregateCondition, ...]:
+        return tuple(lit for lit in self.body
+                     if isinstance(lit, AggregateCondition))
+
+    def negations(self) -> tuple[Negation, ...]:
+        return tuple(lit for lit in self.body
+                     if isinstance(lit, Negation))
+
+    def predicates(self) -> set[str]:
+        """Every database predicate mentioned, including inside aggregates."""
+        result = {atom.predicate for atom in self.atoms()}
+        for condition in self.aggregate_conditions():
+            result |= {atom.predicate for atom in condition.aggregate.body}
+        for negation in self.negations():
+            result |= {atom.predicate for atom in negation.atoms()}
+        return result
+
+    # -- transformation -------------------------------------------------------
+
+    def substitute(self, substitution: Substitution) -> "Denial":
+        return Denial(tuple(
+            substitution.apply_literal(literal) for literal in self.body))
+
+    def without(self, literal: Literal) -> "Denial":
+        """Drop the first occurrence of ``literal`` from the body."""
+        body = list(self.body)
+        body.remove(literal)
+        return Denial(tuple(body))
+
+    def with_literals(self, literals: tuple[Literal, ...]) -> "Denial":
+        return Denial(self.body + tuple(literals))
+
+    def deduplicated(self) -> "Denial":
+        """Remove duplicate literals, keeping first occurrences."""
+        seen: list[Literal] = []
+        for literal in self.body:
+            if literal not in seen:
+                seen.append(literal)
+        return Denial(tuple(seen))
+
+    def rename_apart(self, taken: set[Variable] | None = None) -> "Denial":
+        """Rename variables to globally fresh ones (for safe combination).
+
+        ``taken`` adds extra variables that must be avoided; globally
+        fresh names avoid collisions by construction.
+        """
+        mapping = {
+            var: fresh_variable(var.name.split("#")[0])
+            for var in sorted(self.variables(), key=lambda v: v.name)
+        }
+        return self.substitute(Substitution(mapping))
+
+    # -- comparison ---------------------------------------------------------------
+
+    def equivalent_to(self, other: "Denial") -> bool:
+        """Mutual θ-subsumption (logical equivalence for our purposes)."""
+        from repro.datalog.subsume import subsumes
+        return subsumes(self, other) and subsumes(other, self)
+
+    def __str__(self) -> str:
+        renamed = self.substitute(self._display_substitution())
+        return "← " + " ∧ ".join(str(literal) for literal in renamed.body)
+
+    def _display_substitution(self) -> Substitution:
+        """Rename anonymous variables that occur more than once.
+
+        A shared anonymous variable is a real join; printing it as ``_``
+        would hide that, so repeated ones get visible names ``X1``,
+        ``X2``, ... in first-occurrence order.
+        """
+        from repro.datalog.atoms import Aggregate
+        from repro.datalog.terms import Arithmetic, Term, is_anonymous
+
+        counts: dict[Variable, int] = {}
+        order: list[Variable] = []
+
+        def walk_term(term: Term) -> None:
+            if isinstance(term, Variable):
+                if term not in counts:
+                    order.append(term)
+                counts[term] = counts.get(term, 0) + 1
+            elif isinstance(term, Arithmetic):
+                walk_term(term.left)
+                walk_term(term.right)
+
+        def walk_literal(literal: Literal) -> None:
+            if isinstance(literal, Atom):
+                for arg in literal.args:
+                    walk_term(arg)
+            elif isinstance(literal, Comparison):
+                walk_term(literal.left)
+                walk_term(literal.right)
+            elif isinstance(literal, Negation):
+                for inner in literal.body:
+                    walk_literal(inner)
+            else:
+                assert isinstance(literal, AggregateCondition)
+                aggregate: Aggregate = literal.aggregate
+                if aggregate.term is not None:
+                    walk_term(aggregate.term)
+                for term in aggregate.group_by:
+                    walk_term(term)
+                for atom in aggregate.body:
+                    for arg in atom.args:
+                        walk_term(arg)
+                walk_term(literal.bound)
+
+        for literal in self.body:
+            walk_literal(literal)
+        taken = {variable.name for variable in counts}
+        mapping: dict[Variable, Variable] = {}
+        counter = 1
+        for variable in order:
+            if is_anonymous(variable) and counts[variable] > 1:
+                while f"X{counter}" in taken:
+                    counter += 1
+                mapping[variable] = Variable(f"X{counter}")
+                counter += 1
+            elif not is_anonymous(variable) and "#" in variable.name:
+                base = variable.name.split("#")[0]
+                name = base
+                suffix = 1
+                while name in taken:
+                    name = f"{base}{suffix}"
+                    suffix += 1
+                taken.add(name)
+                mapping[variable] = Variable(name)
+        return Substitution(mapping)

@@ -1,0 +1,247 @@
+"""θ-subsumption between denials.
+
+For denials (headless clauses) the useful direction is: ``general``
+subsumes ``specific`` iff there is a substitution θ over the variables
+of ``general`` such that every body literal of ``general``·θ is implied
+by some body literal of ``specific``.  Then any binding satisfying the
+body of ``specific`` also satisfies the body of ``general`` — so if
+``general`` is known to hold (its body is unsatisfiable), ``specific``
+is redundant.  This is the engine behind the redundancy-elimination
+steps of the ``Optimize`` transformation (section 5), including the use
+of the freshness hypotheses Δ: ``← sub(is,_,_,_)`` subsumes any denial
+whose body contains a ``sub`` atom with id ``is``.
+
+θ may only bind the variables of ``general`` (renamed apart first);
+variables of ``specific`` act as constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.datalog.atoms import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Literal,
+    Negation,
+    apply_comparison_op,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.subst import Substitution
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import match_atoms, match_terms
+
+
+def subsumes(general: Denial, specific: Denial) -> bool:
+    """True if ``general`` θ-subsumes ``specific``."""
+    return subsuming_substitution(general, specific) is not None
+
+
+def subsuming_substitution(general: Denial,
+                           specific: Denial) -> Substitution | None:
+    """The witnessing substitution of :func:`subsumes`, or ``None``.
+
+    The substitution is over the variables of a renamed-apart copy of
+    ``general``, so it is mainly useful as a yes/no witness.
+    """
+    renamed = general.rename_apart()
+    bindable = renamed.variables()
+    return _match_body(list(renamed.body), list(specific.body),
+                       Substitution(), bindable)
+
+
+def _match_body(pattern: list[Literal], target: list[Literal],
+                substitution: Substitution,
+                bindable: set[Variable]) -> Substitution | None:
+    if not pattern:
+        return substitution
+    head, rest = pattern[0], pattern[1:]
+    for candidate in target:
+        for extended in _match_literal(head, candidate, substitution,
+                                       bindable):
+            result = _match_body(rest, target, extended, bindable)
+            if result is not None:
+                return result
+    return None
+
+
+def _match_literal(pattern: Literal, target: Literal,
+                   substitution: Substitution,
+                   bindable: set[Variable]) -> Iterator[Substitution]:
+    """Yield extensions of ``substitution`` making ``target`` imply
+    ``pattern``·θ."""
+    if isinstance(pattern, Atom) and isinstance(target, Atom):
+        result = match_atoms(pattern, target, substitution, bindable)
+        if result is not None:
+            yield result
+        return
+    if isinstance(pattern, Comparison) and isinstance(target, Comparison):
+        yield from _match_comparison(pattern, target, substitution, bindable)
+        return
+    if isinstance(pattern, AggregateCondition) \
+            and isinstance(target, AggregateCondition):
+        yield from _match_aggregate(pattern, target, substitution, bindable)
+        return
+    if isinstance(pattern, Negation) and isinstance(target, Negation):
+        # conservative: the two negated subqueries must be structurally
+        # equal up to θ (a bijective literal matching); then they are
+        # logically equivalent, so the implication holds
+        if len(pattern.body) == len(target.body):
+            yield from _match_literal_multiset(
+                list(pattern.body), list(target.body), substitution,
+                bindable)
+        return
+
+
+# target op → pattern ops it implies, when operands are identical
+_OP_IMPLICATIONS = {
+    "eq": {"eq", "le", "ge"},
+    "ne": {"ne"},
+    "lt": {"lt", "le", "ne"},
+    "le": {"le"},
+    "gt": {"gt", "ge", "ne"},
+    "ge": {"ge"},
+}
+
+
+def _match_comparison(pattern: Comparison, target: Comparison,
+                      substitution: Substitution,
+                      bindable: set[Variable]) -> Iterator[Substitution]:
+    # operand order is irrelevant once the operator is swapped with it
+    candidates = [target, target.swapped()]
+    for candidate in candidates:
+        if pattern.op not in _OP_IMPLICATIONS[candidate.op]:
+            continue
+        partial = match_terms(pattern.left, candidate.left, substitution,
+                              bindable)
+        if partial is None:
+            continue
+        complete = match_terms(pattern.right, candidate.right, partial,
+                               bindable)
+        if complete is not None:
+            yield complete
+
+
+def _bound_implies(target_op: str, target_bound: object, pattern_op: str,
+                   pattern_bound: object) -> bool:
+    """``value target_op target_bound`` implies ``value pattern_op
+    pattern_bound`` for every value — decided for numeric bounds."""
+    if not isinstance(target_bound, (int, float)) \
+            or not isinstance(pattern_bound, (int, float)):
+        return False
+    if target_op == "eq":
+        return apply_comparison_op(pattern_op, target_bound, pattern_bound)
+    if target_op in ("gt", "ge") and pattern_op in ("gt", "ge"):
+        # value > t implies value > p iff t >= p; value >= t implies
+        # value > p iff t > p
+        if target_op == "ge" and pattern_op == "gt":
+            return target_bound > pattern_bound
+        return target_bound >= pattern_bound
+    if target_op in ("lt", "le") and pattern_op in ("lt", "le"):
+        if target_op == "le" and pattern_op == "lt":
+            return target_bound < pattern_bound
+        return target_bound <= pattern_bound
+    return False
+
+
+def _match_aggregate(pattern: AggregateCondition, target: AggregateCondition,
+                     substitution: Substitution,
+                     bindable: set[Variable]) -> Iterator[Substitution]:
+    pattern_agg, target_agg = pattern.aggregate, target.aggregate
+    if pattern_agg.func != target_agg.func \
+            or pattern_agg.distinct != target_agg.distinct:
+        return
+    if len(pattern_agg.body) != len(target_agg.body) \
+            or len(pattern_agg.group_by) != len(target_agg.group_by):
+        return
+    for base in _match_aggregate_structure(pattern_agg, target_agg,
+                                           substitution, bindable):
+        bound = base.apply_term(pattern.bound)
+        if pattern.op == target.op:
+            final = match_terms(bound, target.bound, base, bindable)
+            if final is not None:
+                yield final
+                continue
+        if isinstance(bound, Constant) and isinstance(target.bound, Constant) \
+                and _bound_implies(target.op, target.bound.value, pattern.op,
+                                   bound.value):
+            yield base
+
+
+def _match_aggregate_structure(
+        pattern_agg: Aggregate, target_agg: Aggregate,
+        substitution: Substitution,
+        bindable: set[Variable]) -> Iterator[Substitution]:
+    """Match term, group-by and body of two aggregates (backtracking)."""
+    seeds = [substitution]
+    if pattern_agg.term is not None or target_agg.term is not None:
+        if pattern_agg.term is None or target_agg.term is None:
+            return
+        seeds = [
+            partial for partial in (
+                match_terms(pattern_agg.term, target_agg.term, substitution,
+                            bindable),)
+            if partial is not None
+        ]
+    for seed in seeds:
+        current: Substitution | None = seed
+        for pattern_term, target_term in zip(pattern_agg.group_by,
+                                             target_agg.group_by):
+            assert current is not None
+            current = match_terms(pattern_term, target_term, current,
+                                  bindable)
+            if current is None:
+                break
+        if current is None:
+            continue
+        yield from _match_atom_multiset(list(pattern_agg.body),
+                                        list(target_agg.body), current,
+                                        bindable)
+
+
+def _match_literal_multiset(pattern_literals: list,
+                            target_literals: list,
+                            substitution: Substitution,
+                            bindable: set[Variable]) -> Iterator[Substitution]:
+    """Injective matching of mixed atom/comparison multisets."""
+    if not pattern_literals:
+        yield substitution
+        return
+    head, rest = pattern_literals[0], pattern_literals[1:]
+    for index, candidate in enumerate(target_literals):
+        if isinstance(head, Atom) and isinstance(candidate, Atom):
+            partial = match_atoms(head, candidate, substitution, bindable)
+            matches = [] if partial is None else [partial]
+        elif isinstance(head, Comparison) \
+                and isinstance(candidate, Comparison):
+            # inside a negation the match must preserve meaning exactly,
+            # so only identical operators (modulo swap) are accepted
+            matches = [
+                extended
+                for extended in _match_comparison(head, candidate,
+                                                  substitution, bindable)
+            ] if head.op in (candidate.op, candidate.swapped().op) else []
+        else:
+            matches = []
+        remaining = target_literals[:index] + target_literals[index + 1:]
+        for partial in matches:
+            yield from _match_literal_multiset(rest, remaining, partial,
+                                               bindable)
+
+
+def _match_atom_multiset(pattern_atoms: list[Atom], target_atoms: list[Atom],
+                         substitution: Substitution,
+                         bindable: set[Variable]) -> Iterator[Substitution]:
+    """Injective matching of aggregate bodies (same length, any order)."""
+    if not pattern_atoms:
+        yield substitution
+        return
+    head, rest = pattern_atoms[0], pattern_atoms[1:]
+    for index, candidate in enumerate(target_atoms):
+        partial = match_atoms(head, candidate, substitution, bindable)
+        if partial is None:
+            continue
+        remaining = target_atoms[:index] + target_atoms[index + 1:]
+        yield from _match_atom_multiset(rest, remaining, partial, bindable)

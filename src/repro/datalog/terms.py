@@ -1,0 +1,128 @@
+"""Terms of the Datalog dialect used for XML constraints.
+
+Three leaf term kinds exist (section 5 of the paper):
+
+* :class:`Constant` — a ground value (string or number);
+* :class:`Variable` — implicitly universally quantified in denials; the
+  paper writes them capitalized.  Variables whose name starts with an
+  underscore render as ``_`` (anonymous variables);
+* :class:`Parameter` — a *placeholder for a constant* used in update
+  patterns (the paper writes them in boldface: **a**, **b**, ...).  A
+  parameter behaves like an unknown constant during simplification: two
+  distinct parameters are neither known-equal nor known-different.
+
+:class:`Arithmetic` is a compound term used for aggregate bounds that
+must be adjusted by a parameter-dependent amount (e.g. ``c - 1``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A ground value: a Python ``str``, ``int``, ``float`` or ``None``.
+
+    ``None`` is the SQL-ish null used for absent optional columns in
+    the relational mapping (optional inlined children, optional
+    attributes)."""
+
+    value: str | int | float | None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        if self.value is None:
+            return "null"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "_" if is_anonymous(self) else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """A placeholder for a constant bound at update time (bold in the paper)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Arithmetic:
+    """A compound arithmetic term, e.g. ``Arithmetic('-', bound, 1)``."""
+
+    op: str  # "+", "-"
+    left: "Term"
+    right: "Term"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Term = Union[Constant, Variable, Parameter, Arithmetic]
+
+ANONYMOUS_PREFIX = "_"
+"""Variables named with this prefix print as ``_`` (don't-care)."""
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_variable(hint: str = "V") -> Variable:
+    """Return a variable with a globally unused name.
+
+    The name embeds ``hint`` for readable output, e.g. ``fresh_variable
+    ("_")`` yields anonymous-looking variables ``_1``, ``_2``, ...
+    """
+    return Variable(f"{hint}#{next(_fresh_counter)}")
+
+
+def is_anonymous(variable: Variable) -> bool:
+    """True for variables that came from ``_`` in the source syntax."""
+    return variable.name.startswith(ANONYMOUS_PREFIX)
+
+
+def term_variables(term: Term) -> set[Variable]:
+    """The set of variables occurring in ``term``."""
+    if isinstance(term, Variable):
+        return {term}
+    if isinstance(term, Arithmetic):
+        return term_variables(term.left) | term_variables(term.right)
+    return set()
+
+
+def term_parameters(term: Term) -> set[Parameter]:
+    """The set of parameters occurring in ``term``."""
+    if isinstance(term, Parameter):
+        return {term}
+    if isinstance(term, Arithmetic):
+        return term_parameters(term.left) | term_parameters(term.right)
+    return set()
+
+
+def evaluate_arithmetic(term: Term) -> Term:
+    """Fold ground arithmetic into a constant where possible."""
+    if not isinstance(term, Arithmetic):
+        return term
+    left = evaluate_arithmetic(term.left)
+    right = evaluate_arithmetic(term.right)
+    if (isinstance(left, Constant) and isinstance(right, Constant)
+            and isinstance(left.value, (int, float))
+            and isinstance(right.value, (int, float))):
+        if term.op == "+":
+            return Constant(left.value + right.value)
+        if term.op == "-":
+            return Constant(left.value - right.value)
+    return Arithmetic(term.op, left, right)

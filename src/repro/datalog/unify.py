@@ -1,0 +1,110 @@
+"""Unification and one-way matching of terms and atoms.
+
+Parameters are treated as (unknown) constants: a parameter unifies with
+itself or with a variable, never with a different parameter or with a
+constant — during simplification we may assume neither their equality
+nor their inequality.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import Atom
+from repro.datalog.subst import Substitution
+from repro.datalog.terms import Arithmetic, Constant, Parameter, Term, Variable
+
+
+def unify_terms(left: Term, right: Term,
+                substitution: Substitution | None = None) -> Substitution | None:
+    """Most general unifier of two terms, or ``None``."""
+    substitution = substitution or Substitution()
+    left = substitution.apply_term(left)
+    right = substitution.apply_term(right)
+    if left == right:
+        return substitution
+    if isinstance(left, Variable):
+        return _bind(substitution, left, right)
+    if isinstance(right, Variable):
+        return _bind(substitution, right, left)
+    if isinstance(left, Arithmetic) and isinstance(right, Arithmetic):
+        if left.op != right.op:
+            return None
+        partial = unify_terms(left.left, right.left, substitution)
+        if partial is None:
+            return None
+        return unify_terms(left.right, right.right, partial)
+    return None
+
+
+def _bind(substitution: Substitution, variable: Variable,
+          term: Term) -> Substitution | None:
+    if isinstance(term, Arithmetic) and variable in _arith_variables(term):
+        return None  # occurs check
+    return substitution.bind(variable, term)
+
+
+def _arith_variables(term: Term) -> set[Variable]:
+    if isinstance(term, Variable):
+        return {term}
+    if isinstance(term, Arithmetic):
+        return _arith_variables(term.left) | _arith_variables(term.right)
+    return set()
+
+
+def unify_atoms(left: Atom, right: Atom,
+                substitution: Substitution | None = None) -> Substitution | None:
+    """Most general unifier of two atoms, or ``None``."""
+    if left.predicate != right.predicate or left.arity() != right.arity():
+        return None
+    substitution = substitution or Substitution()
+    for left_arg, right_arg in zip(left.args, right.args):
+        result = unify_terms(left_arg, right_arg, substitution)
+        if result is None:
+            return None
+        substitution = result
+    return substitution
+
+
+def match_terms(pattern: Term, target: Term,
+                substitution: Substitution | None = None,
+                bindable: set[Variable] | None = None) -> Substitution | None:
+    """One-way matching: only variables of ``pattern`` may be bound.
+
+    Variables occurring in ``target`` are treated as constants; when a
+    pattern variable's image already contains target variables, those
+    must match syntactically.  ``bindable`` restricts which variables
+    may be bound (``None`` allows any) — θ-subsumption passes the
+    variables of the renamed-apart general denial, so that target
+    variables flowing into images are never bound.
+    """
+    substitution = substitution or Substitution()
+    pattern = substitution.apply_term(pattern)
+    if pattern == target:
+        return substitution
+    if isinstance(pattern, Variable) \
+            and (bindable is None or pattern in bindable):
+        return substitution.bind(pattern, target)
+    if isinstance(pattern, Arithmetic) and isinstance(target, Arithmetic):
+        if pattern.op != target.op:
+            return None
+        partial = match_terms(pattern.left, target.left, substitution,
+                              bindable)
+        if partial is None:
+            return None
+        return match_terms(pattern.right, target.right, partial, bindable)
+    return None
+
+
+def match_atoms(pattern: Atom, target: Atom,
+                substitution: Substitution | None = None,
+                bindable: set[Variable] | None = None) -> Substitution | None:
+    """One-way matching of atoms (see :func:`match_terms`)."""
+    if pattern.predicate != target.predicate \
+            or pattern.arity() != target.arity():
+        return None
+    substitution = substitution or Substitution()
+    for pattern_arg, target_arg in zip(pattern.args, target.args):
+        result = match_terms(pattern_arg, target_arg, substitution, bindable)
+        if result is None:
+            return None
+        substitution = result
+    return substitution

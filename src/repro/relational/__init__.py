@@ -1,0 +1,30 @@
+"""Mapping XML to the relational/deductive data model (section 4.1).
+
+Each node type is mapped to a predicate whose first three attributes are
+the node identifier, its position among its siblings and the identifier
+of its parent.  Parent-child relationships that are one-to-one (or
+optional) with text-only children are compacted: the child's character
+data becomes a column of the parent's predicate.  Document root types
+carry no local data and are not represented as predicates; their node
+identifiers appear as parent values in their children's rows.
+"""
+
+from repro.relational.schema import (
+    ColumnSpec,
+    PredicateSchema,
+    RelationalSchema,
+)
+from repro.relational.shredder import shred, subtree_facts
+from repro.relational.reconstruct import reconstruct
+from repro.relational.prune import prune_denials, prune_implied_parent_atoms
+
+__all__ = [
+    "ColumnSpec",
+    "PredicateSchema",
+    "RelationalSchema",
+    "shred",
+    "subtree_facts",
+    "reconstruct",
+    "prune_denials",
+    "prune_implied_parent_atoms",
+]

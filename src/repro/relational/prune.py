@@ -1,0 +1,143 @@
+"""Schema-aware pruning of implied parent atoms.
+
+In the shredded relational view, referential integrity holds by
+construction: every row's ``parent`` value is the id of an existing row
+of (one of) the parent node type(s).  An atom such as ``pub(Ip,_,_,_)``
+is therefore redundant in a body that contains ``aut(_,_,Ip,_)`` — the
+``aut`` row guarantees the ``pub`` row.  The paper's compiled denials
+use this implicitly (example 3 contains no ``pub`` atom); this module
+makes the rule explicit and sound:
+
+an atom ``p(I, A2, ..., An)`` can be dropped iff
+
+* ``I`` is a variable, every ``Ai`` is a variable occurring nowhere
+  else in the denial, and
+* ``I`` occurs elsewhere, always in the *parent* position of an atom
+  whose node type has ``p`` among its possible parents — and, when a
+  node type has several possible parents, the containing atom must pin
+  the type: we additionally require ``p`` to be the *only* parent type,
+  so the implication is unconditional.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import (AggregateCondition, Atom, Comparison,
+                                 Negation)
+from repro.datalog.denial import Denial
+from repro.datalog.terms import Arithmetic, Term, Variable
+from repro.relational.schema import RelationalSchema
+
+
+def _term_occurrences(term: Term, variable: Variable) -> int:
+    if term == variable:
+        return 1
+    if isinstance(term, Arithmetic):
+        return (_term_occurrences(term.left, variable)
+                + _term_occurrences(term.right, variable))
+    return 0
+
+
+def _occurrences(denial: Denial, variable: Variable,
+                 skip_atom: Atom | None = None) -> list[tuple[Atom | None, int]]:
+    """(atom, argument index) of each occurrence; comparisons and
+    aggregate parts yield ``(None, -1)`` entries."""
+    result: list[tuple[Atom | None, int]] = []
+    for literal in denial.body:
+        if isinstance(literal, Atom):
+            if literal is skip_atom:
+                continue
+            for index, arg in enumerate(literal.args):
+                for _ in range(_term_occurrences(arg, variable)):
+                    result.append((literal, index))
+        elif isinstance(literal, Comparison):
+            count = (_term_occurrences(literal.left, variable)
+                     + _term_occurrences(literal.right, variable))
+            result.extend([(None, -1)] * count)
+        elif isinstance(literal, Negation):
+            count = 0
+            for inner in literal.body:
+                if isinstance(inner, Atom):
+                    for arg in inner.args:
+                        count += _term_occurrences(arg, variable)
+                else:
+                    count += (_term_occurrences(inner.left, variable)
+                              + _term_occurrences(inner.right, variable))
+            result.extend([(None, -1)] * count)
+        else:
+            assert isinstance(literal, AggregateCondition)
+            aggregate = literal.aggregate
+            count = _term_occurrences(literal.bound, variable)
+            if aggregate.term is not None:
+                count += _term_occurrences(aggregate.term, variable)
+            for term in aggregate.group_by:
+                count += _term_occurrences(term, variable)
+            for atom in aggregate.body:
+                for arg in atom.args:
+                    count += _term_occurrences(arg, variable)
+            result.extend([(None, -1)] * count)
+    return result
+
+
+def prune_implied_parent_atoms(denial: Denial,
+                               schema: RelationalSchema) -> Denial:
+    """Drop atoms implied by the referential integrity of the mapping."""
+    body = list(denial.body)
+    changed = True
+    while changed:
+        changed = False
+        current = Denial(tuple(body))
+        for literal in body:
+            if not isinstance(literal, Atom) \
+                    or not schema.has_predicate(literal.predicate):
+                continue
+            identifier = literal.args[0]
+            if not isinstance(identifier, Variable):
+                continue
+            if not _rest_args_disposable(current, literal):
+                continue
+            occurrences = _occurrences(current, identifier,
+                                       skip_atom=literal)
+            if not occurrences:
+                continue  # a pure existence check: keep it
+            if all(_is_implied_parent_use(entry, literal.predicate, schema)
+                   for entry in occurrences):
+                body.remove(literal)
+                changed = True
+                break
+    if len(body) == len(denial.body):
+        return denial
+    return Denial(tuple(body))
+
+
+def _rest_args_disposable(denial: Denial, atom: Atom) -> bool:
+    """True when all non-id arguments are variables used nowhere else."""
+    for index, arg in enumerate(atom.args):
+        if index == 0:
+            continue
+        if not isinstance(arg, Variable):
+            return False
+        uses = _occurrences(denial, arg, skip_atom=atom)
+        own_uses = sum(
+            1 for other_index, other_arg in enumerate(atom.args)
+            if other_index != index and _term_occurrences(other_arg, arg))
+        if uses or own_uses:
+            return False
+    return True
+
+
+def _is_implied_parent_use(entry: tuple[Atom | None, int], predicate: str,
+                           schema: RelationalSchema) -> bool:
+    atom, index = entry
+    if atom is None or index != 2:
+        return False
+    if not schema.has_predicate(atom.predicate):
+        return False
+    parents = schema.predicate_for(atom.predicate).parent_tags
+    return parents == (predicate,)
+
+
+def prune_denials(denials: list[Denial],
+                  schema: RelationalSchema) -> list[Denial]:
+    """Prune a whole set of denials."""
+    return [prune_implied_parent_atoms(denial, schema)
+            for denial in denials]

@@ -1,0 +1,98 @@
+"""Reconstruction: relational facts back to an XML document.
+
+The inverse of :func:`repro.relational.shredder.shred`, used to verify
+that the mapping of section 4.1 is lossless for schema-conforming
+documents: shred → reconstruct yields a document with the same
+structure, text, attributes and node identifiers.
+
+Ordering note: inlined text children have no rows of their own (their
+text lives in the parent's columns), so their exact positions are not
+stored.  They are re-created *before* the predicate children, in schema
+column order — faithful for content models where the text-only children
+lead the sequence (``(title, aut+)``, ``(name, rev+)``, ... — every
+model in the running examples, and the common XML design).
+"""
+
+from __future__ import annotations
+
+from repro.datalog.database import FactDatabase, Row
+from repro.errors import SchemaError
+from repro.relational.schema import RelationalSchema
+from repro.xtree.node import Document, Element, Text
+
+
+def reconstruct(database: FactDatabase, schema: RelationalSchema,
+                root_tag: str) -> Document:
+    """Rebuild the document with root ``root_tag`` from shredded facts.
+
+    Only rows reachable from that root are used — a database may hold
+    several shredded documents, as the running example's does.
+    """
+    if not schema.is_root(root_tag):
+        raise SchemaError(f"{root_tag!r} is not a document root type")
+
+    # restrict to the node types reachable from this root: documents
+    # shredded into a shared database have independent id spaces, so
+    # rows of another document's types must not be considered
+    reachable: set[str] = set()
+    frontier = [root_tag]
+    while frontier:
+        current = frontier.pop()
+        for tag, spec in schema.predicates.items():
+            if current in spec.parent_tags and tag not in reachable:
+                reachable.add(tag)
+                frontier.append(tag)
+
+    rows_by_parent: dict[object, list[tuple[str, Row]]] = {}
+    all_ids: set[object] = set()
+    for predicate in reachable:
+        for row in database.rows(predicate):
+            rows_by_parent.setdefault(row[2], []).append((predicate, row))
+            all_ids.add(row[0])
+
+    root_children_types = {
+        tag for tag, spec in schema.predicates.items()
+        if root_tag in spec.parent_tags
+    }
+    root_ids = {
+        parent for parent, children in rows_by_parent.items()
+        if parent not in all_ids
+        and all(tag in root_children_types for tag, _ in children)
+    }
+    if len(root_ids) > 1:
+        raise SchemaError(
+            f"facts contain several candidate {root_tag!r} roots")
+
+    root = Element(root_tag)
+    root.node_id = int(root_ids.pop()) if root_ids else None
+
+    def build(parent: Element, parent_id: object) -> None:
+        children = sorted(rows_by_parent.get(parent_id, ()),
+                          key=lambda item: item[1][1])
+        for child_tag, row in children:
+            child = Element(child_tag)
+            child.node_id = int(row[0])  # type: ignore[assignment]
+            parent.append(child)
+            _fill_values(child, child_tag, row, schema)
+            build(child, row[0])
+
+    build(root, root.node_id)
+    return Document(root)
+
+
+def _fill_values(element: Element, tag: str, row: Row,
+                 schema: RelationalSchema) -> None:
+    predicate = schema.predicate_for(tag)
+    for index, column in enumerate(predicate.value_columns(), start=3):
+        value = row[index]
+        if value is None:
+            continue
+        if column.kind == "attribute":
+            element.attributes[column.source or ""] = str(value)
+        elif column.kind == "text":
+            element.append(Text(str(value)))
+        else:
+            assert column.kind == "text_child"
+            child = Element(column.source or "")
+            child.append(Text(str(value)))
+            element.append(child)

@@ -1,0 +1,276 @@
+"""Relational schema compiled from DTDs (section 4.1 of the paper).
+
+The compiler decides, per parent-child edge, whether the child is
+
+* **inlined** — the child occurs at most once, holds character data only
+  and has no attributes: its text becomes a nullable column of the
+  parent's predicate (``title`` and ``name`` in the running examples);
+* **a predicate of its own** — everything else: the predicate's columns
+  are ``(Id, Pos, IdParent, <inlined children...>, <attributes...>)``,
+  plus a ``text`` column when the element itself holds character data
+  that cannot be inlined upward (mixed or repeated text-only types).
+
+Document roots (element types never referenced by another content
+model) are not represented as predicates when they carry no data of
+their own, exactly as ``dblp`` and ``review`` in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.xtree.dtd import DTD
+
+RESERVED_COLUMNS = ("id", "pos", "parent")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a predicate.
+
+    ``kind`` is one of:
+
+    * ``"id"`` / ``"pos"`` / ``"parent"`` — the three structural columns;
+    * ``"text_child"`` — text of an inlined child; ``source`` is the
+      child's tag;
+    * ``"attribute"`` — an XML attribute; ``source`` is the attribute
+      name;
+    * ``"text"`` — the element's own character data.
+    """
+
+    name: str
+    kind: str
+    source: str | None = None
+    optional: bool = False
+
+    def __str__(self) -> str:
+        suffix = "?" if self.optional else ""
+        return f"{self.name}{suffix}"
+
+
+@dataclass
+class PredicateSchema:
+    """The relational predicate of one node type."""
+
+    tag: str
+    columns: tuple[ColumnSpec, ...]
+    parent_tags: tuple[str, ...]
+
+    ID, POS, PARENT = 0, 1, 2
+
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(
+            f"predicate {self.tag!r} has no column {name!r}; columns: "
+            + ", ".join(column.name for column in self.columns))
+
+    def value_columns(self) -> tuple[ColumnSpec, ...]:
+        return self.columns[3:]
+
+    def text_child_index(self, child_tag: str) -> int:
+        """Column index of an inlined text child, by the child's tag."""
+        for index, column in enumerate(self.columns):
+            if column.kind == "text_child" and column.source == child_tag:
+                return index
+        raise SchemaError(
+            f"child {child_tag!r} is not inlined into predicate {self.tag!r}")
+
+    def attribute_index(self, attribute: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.kind == "attribute" and column.source == attribute:
+                return index
+        raise SchemaError(
+            f"attribute {attribute!r} is not a column of {self.tag!r}")
+
+    def has_text_column(self) -> bool:
+        return any(column.kind == "text" for column in self.columns)
+
+    def text_index(self) -> int:
+        for index, column in enumerate(self.columns):
+            if column.kind == "text":
+                return index
+        raise SchemaError(f"predicate {self.tag!r} has no text column")
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(column) for column in self.columns)
+        return f"{self.tag}({inner})"
+
+
+@dataclass
+class RelationalSchema:
+    """The full relational view of one or more DTDs."""
+
+    predicates: dict[str, PredicateSchema] = field(default_factory=dict)
+    #: (parent_tag, child_tag) → column name in the parent's predicate
+    inlined: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: root tags that are not represented as predicates
+    roots: tuple[str, ...] = ()
+    #: the DTDs the schema was compiled from, for validation purposes
+    dtds: tuple[DTD, ...] = ()
+
+    # -- queries --------------------------------------------------------------
+
+    def predicate_for(self, tag: str) -> PredicateSchema:
+        try:
+            return self.predicates[tag]
+        except KeyError:
+            raise SchemaError(f"no predicate for node type {tag!r}") from None
+
+    def has_predicate(self, tag: str) -> bool:
+        return tag in self.predicates
+
+    def is_inlined(self, parent_tag: str, child_tag: str) -> bool:
+        return (parent_tag, child_tag) in self.inlined
+
+    def is_root(self, tag: str) -> bool:
+        return tag in self.roots
+
+    def knows_tag(self, tag: str) -> bool:
+        return (tag in self.predicates or tag in self.roots
+                or any(edge[1] == tag for edge in self.inlined))
+
+    def parents_of(self, tag: str) -> tuple[str, ...]:
+        if tag in self.predicates:
+            return self.predicates[tag].parent_tags
+        return tuple(sorted({
+            parent for (parent, child) in self.inlined if child == tag}))
+
+    def describe(self) -> str:
+        """Human-readable schema listing (as in section 4.1)."""
+        lines = [str(self.predicates[tag]) for tag in sorted(self.predicates)]
+        return "\n".join(lines)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_dtd(cls, dtd: DTD) -> "RelationalSchema":
+        return cls.from_dtds([dtd])
+
+    @classmethod
+    def from_dtds(cls, dtds: list[DTD]) -> "RelationalSchema":
+        """Compile one relational schema covering several documents.
+
+        The paper's constraints span both ``pub.xml`` and ``rev.xml``;
+        their DTDs are compiled together into a single namespace of
+        predicates.  A tag that needs a predicate in two DTDs must have
+        the same shape in both.
+        """
+        schema = cls(dtds=tuple(dtds))
+        roots: list[str] = []
+        for dtd in dtds:
+            root = dtd.root()
+            roots.append(root)
+            builder = _SchemaBuilder(dtd, root)
+            builder.build()
+            for tag, predicate in builder.predicates.items():
+                existing = schema.predicates.get(tag)
+                if existing is None:
+                    schema.predicates[tag] = predicate
+                elif existing.columns != predicate.columns:
+                    raise SchemaError(
+                        f"node type {tag!r} maps to incompatible predicates "
+                        f"in different DTDs: {existing} vs {predicate}")
+                else:
+                    merged = tuple(sorted(
+                        set(existing.parent_tags) | set(predicate.parent_tags)))
+                    schema.predicates[tag] = PredicateSchema(
+                        tag, existing.columns, merged)
+            for edge, column in builder.inlined.items():
+                previous = schema.inlined.get(edge)
+                if previous is not None and previous != column:
+                    raise SchemaError(
+                        f"inlined edge {edge} maps to two columns")
+                schema.inlined[edge] = column
+        schema.roots = tuple(roots)
+        for root in roots:
+            if root in schema.predicates:
+                raise SchemaError(
+                    f"tag {root!r} is a document root in one DTD and an "
+                    "inner node type in another; this is not supported")
+        return schema
+
+
+class _SchemaBuilder:
+    """Builds predicates for a single DTD, walking from the root."""
+
+    def __init__(self, dtd: DTD, root: str) -> None:
+        self.dtd = dtd
+        self.root = root
+        self.predicates: dict[str, PredicateSchema] = {}
+        self.inlined: dict[tuple[str, str], str] = {}
+        self._parents: dict[str, set[str]] = {}
+
+    def build(self) -> None:
+        # First pass: decide, per edge, inlining; collect predicate tags.
+        predicate_tags: list[str] = []
+        seen: set[str] = set()
+        stack = [self.root]
+        while stack:
+            tag = stack.pop()
+            if tag in seen:
+                continue
+            seen.add(tag)
+            for child, (low, high) in sorted(
+                    self.dtd.child_cardinalities(tag).items()):
+                self._parents.setdefault(child, set()).add(tag)
+                # the root has no predicate, so nothing can be inlined
+                # into it — its children always get predicates
+                if tag != self.root and self._inlinable(child) \
+                        and high == 1:
+                    self.inlined[(tag, child)] = child
+                else:
+                    if child not in predicate_tags:
+                        predicate_tags.append(child)
+                    stack.append(child)
+        # A tag inlined under one parent but needing a predicate under
+        # another keeps the predicate; the inlining of the first edge is
+        # withdrawn for consistency of constraint compilation.
+        for (parent, child) in list(self.inlined):
+            if child in predicate_tags:
+                del self.inlined[(parent, child)]
+        # Second pass: build predicate column lists.
+        for tag in predicate_tags:
+            self.predicates[tag] = self._predicate(tag)
+
+    def _inlinable(self, tag: str) -> bool:
+        return self.dtd.is_pcdata_only(tag) and not self.dtd.attribute_defs(tag)
+
+    def _predicate(self, tag: str) -> PredicateSchema:
+        columns: list[ColumnSpec] = [
+            ColumnSpec("id", "id"),
+            ColumnSpec("pos", "pos"),
+            ColumnSpec("parent", "parent"),
+        ]
+        used = set(RESERVED_COLUMNS)
+        for child, (low, high) in sorted(
+                self.dtd.child_cardinalities(tag).items()):
+            if (tag, child) in self.inlined:
+                name = self._column_name(child, used)
+                columns.append(ColumnSpec(
+                    name, "text_child", source=child, optional=low == 0))
+        for attribute in self.dtd.attribute_defs(tag):
+            name = self._column_name(attribute.name, used)
+            columns.append(ColumnSpec(
+                name, "attribute", source=attribute.name,
+                optional=not attribute.required))
+        model = self.dtd.content_model(tag)
+        from repro.xtree.dtd import MixedContent
+        if isinstance(model, MixedContent):
+            name = self._column_name("text", used)
+            columns.append(ColumnSpec(name, "text", optional=True))
+        parents = tuple(sorted(self._parents.get(tag, set())))
+        return PredicateSchema(tag, tuple(columns), parents)
+
+    @staticmethod
+    def _column_name(base: str, used: set[str]) -> str:
+        name = base.lower()
+        while name in used:
+            name += "_"
+        used.add(name)
+        return name

@@ -1,0 +1,87 @@
+"""Shredding XML documents into relational facts (section 4.1)."""
+
+from __future__ import annotations
+
+from repro.datalog.database import FactDatabase, Row
+from repro.errors import SchemaError
+from repro.relational.schema import PredicateSchema, RelationalSchema
+from repro.xtree.node import Document, Element
+
+
+def _row_for(element: Element, predicate: PredicateSchema,
+             schema: RelationalSchema) -> Row:
+    if element.node_id is None or element.parent is None \
+            or element.parent.node_id is None:
+        raise SchemaError(
+            f"element <{element.tag}> must be attached to a document "
+            "before shredding")
+    values: list[object] = [
+        element.node_id,
+        element.child_position,
+        element.parent.node_id,
+    ]
+    for column in predicate.value_columns():
+        if column.kind == "text_child":
+            child = element.first_child(column.source or "")
+            values.append(None if child is None else child.text())
+        elif column.kind == "attribute":
+            values.append(element.attributes.get(column.source or ""))
+        elif column.kind == "text":
+            values.append(element.text())
+        else:  # pragma: no cover - schema construction prevents this
+            raise SchemaError(f"unexpected column kind {column.kind!r}")
+    return tuple(values)
+
+
+def shred(document: Document, schema: RelationalSchema,
+          database: FactDatabase | None = None) -> FactDatabase:
+    """Map a document to facts, adding them to ``database`` (or a new one).
+
+    Elements of inlined node types produce no rows; their text lives in
+    the parent's row.  The document root produces no row either — its
+    node id only appears as the parent value of its children.
+    """
+    database = database or FactDatabase()
+    for predicate, row in iter_facts(document, schema):
+        database.add(predicate, row)
+    return database
+
+
+def iter_facts(document: Document, schema: RelationalSchema):
+    """Yield ``(predicate, row)`` pairs for a whole document."""
+    root = document.root
+    if not schema.is_root(root.tag) and not schema.has_predicate(root.tag):
+        raise SchemaError(
+            f"document root <{root.tag}> is unknown to the schema")
+    for element in document.iter_elements():
+        if element is root:
+            continue
+        parent_tag = element.parent.tag if element.parent else ""
+        if schema.is_inlined(parent_tag, element.tag):
+            continue
+        if not schema.has_predicate(element.tag):
+            raise SchemaError(
+                f"element <{element.tag}> at {element.location_path()} has "
+                "no predicate and is not inlined")
+        predicate = schema.predicate_for(element.tag)
+        yield element.tag, _row_for(element, predicate, schema)
+
+
+def subtree_facts(element: Element,
+                  schema: RelationalSchema) -> list[tuple[str, Row]]:
+    """Facts contributed by one (attached) subtree.
+
+    This is the relational delta of inserting ``element``: the facts for
+    the element itself and all of its non-inlined descendants.  Used to
+    mirror updates onto a fact database and by tests asserting the
+    update mapping of section 4.1.
+    """
+    facts: list[tuple[str, Row]] = []
+    parent_tag = element.parent.tag if element.parent else ""
+    for node in element.iter_elements():
+        node_parent_tag = node.parent.tag if node.parent else parent_tag
+        if schema.is_inlined(node_parent_tag, node.tag):
+            continue
+        predicate = schema.predicate_for(node.tag)
+        facts.append((node.tag, _row_for(node, predicate, schema)))
+    return facts

@@ -1,0 +1,39 @@
+"""Simplification of integrity constraints (section 5).
+
+Implements the framework of Christiansen & Martinenghi adopted by the
+paper:
+
+* :func:`after` — the syntactic transformation ``After^U`` of
+  definition 2: a set of denials referring to the updated state is
+  rewritten into one that holds in the *present* state iff the original
+  holds after the update;
+* :func:`optimize` — the ``Optimize_Δ`` transformation: removes denials
+  provable from trusted hypotheses (the original constraints Γ plus the
+  freshness hypotheses Δ of update patterns), eliminates equalities,
+  folds trivial conditions and discards subsumed denials;
+* :func:`simp` — ``Simp^U_Δ(Γ) = Optimize_{Γ∪Δ}(After^U(Γ))``
+  (definition 3);
+* :class:`UpdatePattern` — a parametric insertion pattern (ground atoms
+  over constants and parameters);
+* :func:`freshness_hypotheses` — derives the Δ of section 5.1 from an
+  update pattern (fresh node ids occur nowhere in the present state).
+
+Aggregates are handled for the monotone comparisons (``>``, ``≥``) that
+cover the paper's examples; patterns outside the supported fragment
+raise :class:`repro.errors.SimplificationError`, and callers fall back
+to brute-force checking (footnote 4 of the paper).
+"""
+
+from repro.simplify.update import UpdatePattern, freshness_hypotheses
+from repro.simplify.after import after
+from repro.simplify.optimize import normalize_denial, optimize
+from repro.simplify.simp import simp
+
+__all__ = [
+    "UpdatePattern",
+    "freshness_hypotheses",
+    "after",
+    "optimize",
+    "normalize_denial",
+    "simp",
+]

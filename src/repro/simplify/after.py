@@ -1,0 +1,325 @@
+"""The ``After`` transformation (definition 2), with aggregate support.
+
+``After^U(Γ)`` rewrites denials that refer to the updated state into
+denials over the present state:
+
+* every database atom ``p(t̄)`` whose predicate receives additions
+  ``p(ā₁) ... p(āₙ)`` is replaced by the disjunction
+  ``p(t̄) ∨ t̄=ā₁ ∨ ... ∨ t̄=āₙ``; the result is put back in denial
+  (conjunctive) form, producing one output denial per combination;
+* every aggregate condition whose body mentions an updated predicate is
+  case-split over the sets of additions that can contribute new
+  bindings to the aggregated group.  For each consistent contribution
+  set the group variables are instantiated, the *residual* body atoms
+  (which the contribution requires to hold) are hoisted into the denial
+  body — where they are themselves subject to atom expansion — and the
+  comparison bound is lowered by the contribution (example 7's
+  ``Cnt_D(...) > 4`` becomes ``Cnt_D(...) > 3``).
+
+The aggregate rule is exact for monotone comparisons (``>``, ``≥``)
+with distinct counts over fresh node identifiers, plain counts and sums
+with empty residuals; anything else raises
+:class:`repro.errors.SimplificationError` so the caller can fall back
+to brute-force checking.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.datalog.atoms import (
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Literal,
+    Negation,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.subst import Substitution
+from repro.datalog.terms import (
+    Arithmetic,
+    Constant,
+    Parameter,
+    Term,
+    Variable,
+    evaluate_arithmetic,
+    fresh_variable,
+)
+from repro.datalog.unify import unify_atoms
+from repro.errors import SimplificationError
+from repro.simplify.update import UpdatePattern
+
+
+def after(denials: Iterable[Denial], update: UpdatePattern) -> list[Denial]:
+    """``After^U`` over a set of denials (definition 2)."""
+    result: list[Denial] = []
+    for denial in denials:
+        for with_aggregates in _aggregate_cases(denial, update):
+            result.extend(_expand_atoms(with_aggregates, update))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Regular atom expansion
+# ---------------------------------------------------------------------------
+
+def _expand_atoms(denial: Denial, update: UpdatePattern) -> list[Denial]:
+    options_per_literal: list[list[tuple[Literal, ...]]] = []
+    for literal in denial.body:
+        if isinstance(literal, Atom) and update.additions_for(
+                literal.predicate):
+            options: list[tuple[Literal, ...]] = [(literal,)]
+            for addition in update.additions_for(literal.predicate):
+                if len(addition.args) != literal.arity():
+                    raise SimplificationError(
+                        f"addition {addition} does not match the arity of "
+                        f"{literal}")
+                equalities = tuple(
+                    Comparison("eq", arg, value)
+                    for arg, value in zip(literal.args, addition.args))
+                options.append(equalities)
+            options_per_literal.append(options)
+        elif isinstance(literal, Negation) and (
+                {atom.predicate for atom in literal.atoms()}
+                & update.predicates()):
+            options_per_literal.append([_expand_negation(literal, update)])
+        else:
+            options_per_literal.append([(literal,)])
+    bodies: list[tuple[Literal, ...]] = [()]
+    for options in options_per_literal:
+        bodies = [
+            body + choice
+            for body in bodies
+            for choice in options
+        ]
+    return [Denial(body) for body in bodies]
+
+
+def _expand_negation(negation: Negation,
+                     update: UpdatePattern) -> tuple[Literal, ...]:
+    """After for a negated subquery.
+
+    ``¬∃x̄ B`` in the new state unfolds through the atom expansion:
+    ``∃x̄ ⋁ combos`` distributes over ∃, so the negation becomes the
+    *conjunction* ``⋀ ¬∃x̄ combo`` — one negation literal per choice
+    combination of the inner atoms.
+    """
+    inner_options: list[list[tuple]] = []
+    for inner in negation.body:
+        if isinstance(inner, Atom) and update.additions_for(
+                inner.predicate):
+            choices: list[tuple] = [(inner,)]
+            for addition in update.additions_for(inner.predicate):
+                if len(addition.args) != inner.arity():
+                    raise SimplificationError(
+                        f"addition {addition} does not match the arity "
+                        f"of {inner}")
+                choices.append(tuple(
+                    Comparison("eq", arg, value)
+                    for arg, value in zip(inner.args, addition.args)))
+            inner_options.append(choices)
+        else:
+            inner_options.append([(inner,)])
+    bodies: list[tuple] = [()]
+    for choices in inner_options:
+        bodies = [body + choice for body in bodies for choice in choices]
+    return tuple(Negation(body) for body in bodies)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate case analysis
+# ---------------------------------------------------------------------------
+
+def _aggregate_cases(denial: Denial, update: UpdatePattern) -> list[Denial]:
+    indices = [
+        index for index, literal in enumerate(denial.body)
+        if isinstance(literal, AggregateCondition)
+        and {atom.predicate for atom in literal.aggregate.body}
+        & update.predicates()
+    ]
+    return _split_aggregates(denial, indices, update)
+
+
+def _split_aggregates(denial: Denial, indices: list[int],
+                      update: UpdatePattern) -> list[Denial]:
+    if not indices:
+        return [denial]
+    index, rest = indices[0], indices[1:]
+    results: list[Denial] = []
+    for case in _cases_for_aggregate(denial, index, update):
+        results.extend(_split_aggregates(case, rest, update))
+    return results
+
+
+def _cases_for_aggregate(denial: Denial, index: int,
+                         update: UpdatePattern) -> list[Denial]:
+    condition = denial.body[index]
+    assert isinstance(condition, AggregateCondition)
+    aggregate = condition.aggregate
+    if condition.op not in ("gt", "ge"):
+        raise SimplificationError(
+            f"cannot simplify aggregate condition {condition}: only "
+            "monotone comparisons (>, ≥) are supported when the aggregate "
+            "body is touched by the update")
+    if aggregate.func not in ("cnt", "sum"):
+        raise SimplificationError(
+            f"cannot simplify {aggregate.func} aggregates touched by an "
+            "update")
+    if aggregate.func == "sum" and aggregate.distinct:
+        raise SimplificationError(
+            "cannot simplify distinct sums touched by an update")
+    for predicate in update.predicates():
+        same = [atom for atom in aggregate.body
+                if atom.predicate == predicate]
+        if len(same) > 1:
+            raise SimplificationError(
+                f"aggregate body self-joins updated predicate {predicate!r}")
+
+    exported = _exported_variables(denial, index)
+    locals_ = aggregate.variables() - exported
+
+    matchings: list[tuple[int, Atom]] = []
+    for atom_index, atom in enumerate(aggregate.body):
+        for addition in update.additions_for(atom.predicate):
+            matchings.append((atom_index, addition))
+
+    cases: list[Denial] = [denial]  # the no-contribution case
+    for size in range(1, len(matchings) + 1):
+        for subset in combinations(matchings, size):
+            case = _contribution_case(denial, index, condition, subset,
+                                      locals_, exported, update)
+            if case is not None:
+                cases.append(case)
+    return cases
+
+
+def _exported_variables(denial: Denial, index: int) -> set[Variable]:
+    condition = denial.body[index]
+    assert isinstance(condition, AggregateCondition)
+    rest_vars: set[Variable] = set()
+    for other_index, literal in enumerate(denial.body):
+        if other_index != index:
+            rest_vars |= literal.variables()
+    group_vars: set[Variable] = set()
+    for term in condition.aggregate.group_by:
+        group_vars |= _term_vars(term)
+    return (condition.aggregate.variables() & rest_vars) | group_vars
+
+
+def _term_vars(term: Term) -> set[Variable]:
+    if isinstance(term, Variable):
+        return {term}
+    if isinstance(term, Arithmetic):
+        return _term_vars(term.left) | _term_vars(term.right)
+    return set()
+
+
+def _contribution_case(denial: Denial, index: int,
+                       condition: AggregateCondition,
+                       subset: Sequence[tuple[int, Atom]],
+                       locals_: set[Variable], exported: set[Variable],
+                       update: UpdatePattern) -> Denial | None:
+    """Build the After-denial for one contribution set, or ``None`` when
+    the contribution set is inconsistent."""
+    aggregate = condition.aggregate
+    substitution = Substitution()
+    residuals: list[Atom] = []
+    contributions: list[Term] = []
+
+    for atom_index, addition in subset:
+        renaming = Substitution({
+            local: fresh_variable(local.name.split("#")[0])
+            for local in sorted(locals_, key=lambda v: v.name)
+        })
+        matched_atom = renaming.apply_atom(aggregate.body[atom_index])
+        unified = unify_atoms(matched_atom, addition, substitution)
+        if unified is None:
+            return None
+        substitution = unified
+        for other_index, other_atom in enumerate(aggregate.body):
+            if other_index != atom_index:
+                residuals.append(renaming.apply_atom(other_atom))
+        contributions.append(
+            _contribution_value(aggregate, renaming, addition))
+
+    # a contribution needs its residual atoms to hold in the new state;
+    # a residual pinned to a fresh identifier can only be satisfied by
+    # an added tuple carrying that identifier — if none does, this
+    # contribution set is impossible and the case collapses into the
+    # no-contribution one
+    final_residuals = [substitution.apply_atom(residual)
+                       for residual in residuals]
+    for residual in final_residuals:
+        for position, arg in enumerate(residual.args):
+            if not (isinstance(arg, Parameter)
+                    and arg in update.fresh_parameters):
+                continue
+            if not any(addition.predicate == residual.predicate
+                       and position < len(addition.args)
+                       and addition.args[position] == arg
+                       for addition in update.additions):
+                return None
+
+    if aggregate.func == "cnt":
+        if aggregate.distinct:
+            # distinct counts only grow when the counted values are new
+            for value in contributions:
+                resolved = substitution.apply_term(value)
+                _require_fresh(resolved, update, condition)
+        if not aggregate.distinct and residuals:
+            raise SimplificationError(
+                f"cannot simplify {condition}: a plain count with residual "
+                "body atoms has a data-dependent contribution")
+        delta: Term = Constant(len(subset))
+    else:  # sum
+        if residuals:
+            raise SimplificationError(
+                f"cannot simplify {condition}: a sum with residual body "
+                "atoms has a data-dependent contribution")
+        delta = Constant(0)
+        for value in contributions:
+            resolved = substitution.apply_term(value)
+            if not isinstance(resolved, (Constant, Parameter)):
+                raise SimplificationError(
+                    f"cannot simplify {condition}: the summed value "
+                    f"{resolved} is not determined by the update pattern")
+            delta = Arithmetic("+", delta, resolved)
+
+    outward = substitution.restricted(exported)
+    new_bound = evaluate_arithmetic(
+        Arithmetic("-", outward.apply_term(condition.bound),
+                   substitution.apply_term(delta)))
+    new_condition = AggregateCondition(
+        outward.apply_literal(
+            AggregateCondition(aggregate, condition.op,
+                               condition.bound)).aggregate,
+        condition.op, new_bound)
+
+    body: list[Literal] = []
+    for literal_index, literal in enumerate(denial.body):
+        if literal_index == index:
+            body.append(new_condition)
+        else:
+            body.append(outward.apply_literal(literal))
+    for residual in residuals:
+        body.append(substitution.apply_atom(residual))
+    return Denial(tuple(body))
+
+
+def _contribution_value(aggregate, renaming: Substitution,
+                        addition: Atom) -> Term:
+    if aggregate.term is not None:
+        return renaming.apply_term(aggregate.term)
+    # row-distinct count: the row's identity is carried by its id column
+    return addition.args[0] if addition.args else Constant(1)
+
+
+def _require_fresh(value: Term, update: UpdatePattern,
+                   condition: AggregateCondition) -> None:
+    if isinstance(value, Parameter) and value in update.fresh_parameters:
+        return
+    raise SimplificationError(
+        f"cannot simplify {condition}: the counted value {value} of an "
+        "added tuple is not a fresh node identifier, so distinctness "
+        "cannot be guaranteed")

@@ -1,0 +1,66 @@
+"""Sound handling of deletions (an extension beyond the paper).
+
+The paper instantiates its framework for insertions ("XML documents
+typically grow") and leaves other update kinds to the general
+deductive-database theory.  A useful — and sound — special case is
+cheap to decide statically:
+
+a *deletion* removes tuples, so it can never create a new satisfying
+binding for a **monotone** denial body: positive database atoms and
+built-in comparisons only match fewer bindings, and aggregate values
+compared with ``>``/``≥`` only decrease.  For such constraints the
+simplified check w.r.t. any deletion is the empty set — the deletion
+can be executed with *no* integrity check at all.
+
+Constraints outside this fragment (aggregates bounded below with
+``<``/``≤``/``=``/``≠``, whose truth can flip when tuples disappear)
+are reported as unsafe; the caller falls back to brute force.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalog.atoms import AggregateCondition
+from repro.datalog.denial import Denial
+
+#: aggregate comparisons that cannot become true when values shrink
+_MONOTONE_UP_OPS = ("gt", "ge")
+
+
+def deletion_safe(denial: Denial) -> bool:
+    """True if no deletion can ever violate ``denial``.
+
+    The body is a conjunction of positive atoms, comparisons and
+    aggregate conditions; removing tuples can only remove satisfying
+    bindings unless an aggregate condition is anti-monotone (a shrinking
+    count/sum can start satisfying ``< c``-style bounds, and ``= c`` /
+    ``≠ c`` can flip either way).
+    """
+    if denial.negations():
+        # removing the tuple a negated subquery matched can flip the
+        # negation to true (e.g. deleting a referenced publication)
+        return False
+    for condition in denial.aggregate_conditions():
+        if condition.op not in _MONOTONE_UP_OPS:
+            return False
+        if condition.aggregate.func not in ("cnt", "max"):
+            # removing tuples can *raise* a minimum or an average, and
+            # a sum over negative values can grow when one disappears
+            return False
+    return True
+
+
+def simp_deletion(constraints: Iterable[Denial]) -> list[Denial]:
+    """``Simp`` w.r.t. an arbitrary deletion: the empty check set.
+
+    Only valid when every constraint is :func:`deletion_safe`; raises
+    ``ValueError`` otherwise so callers cannot misuse it.
+    """
+    unsafe = [denial for denial in constraints
+              if not deletion_safe(denial)]
+    if unsafe:
+        raise ValueError(
+            "deletion is not statically safe for: "
+            + "; ".join(str(denial) for denial in unsafe))
+    return []

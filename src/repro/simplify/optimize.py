@@ -1,0 +1,272 @@
+"""The ``Optimize`` transformation: redundancy removal (section 5).
+
+Given a set of input denials and a set of *trusted* denials Δ∪Γ that
+are known to hold in the present state, ``optimize``:
+
+* puts every denial in normal form: variable equalities are substituted
+  away, decidable comparisons are folded (a true comparison disappears,
+  a false one makes the whole denial trivially satisfied), duplicate
+  literals are removed, trivially-true aggregate bounds are dropped;
+* removes denials provable from the trusted set (θ-subsumption — this
+  is how the freshness hypotheses Δ kill the cases that refer to tuples
+  that cannot exist yet, and how unchanged copies of the original
+  constraints disappear);
+* removes denials subsumed by other output denials (this also collapses
+  variants, as in example 5 where two expansion branches reduce to the
+  same check).
+
+The procedure is terminating and sound: every removal is justified by a
+proof from the trusted set or by another kept denial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datalog.atoms import (
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Literal,
+    Negation,
+    comparison_truth,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.subst import Substitution
+from repro.datalog.subsume import subsumes
+from repro.datalog.terms import Constant, Parameter, Term, Variable
+
+#: body of a denial whose body became empty during normalization — such
+#: a denial is violated by *every* database state (the update pattern is
+#: inconsistent with the constraints regardless of the data).
+ALWAYS_VIOLATED_BODY = (Comparison("eq", Constant(0), Constant(0)),)
+
+
+def always_violated(denial: Denial) -> bool:
+    """True for the canonical unconditionally-violated denial."""
+    return denial.body == ALWAYS_VIOLATED_BODY
+
+
+def normalize_denial(denial: Denial) -> Denial | None:
+    """Normal form of a denial; ``None`` when trivially satisfied.
+
+    ``None`` means the body is unsatisfiable (e.g. ``t ≠ t`` after
+    substitution, as in the fourth denial of example 4), so the denial
+    holds in every state and can be dropped from a check set.
+    """
+    literals = list(denial.body)
+    changed = True
+    while changed:
+        changed = False
+        for literal in literals:
+            if isinstance(literal, Negation):
+                outer_vars: set = set()
+                for other in literals:
+                    if other is not literal:
+                        outer_vars |= other.variables()
+                outcome = _normalize_negation(literal, outer_vars)
+                if outcome is None:
+                    return None  # negation is false: body unsatisfiable
+                if outcome is True:
+                    literals.remove(literal)  # negation is trivially true
+                    changed = True
+                    break
+                if outcome != literal:
+                    literals[literals.index(literal)] = outcome
+                    changed = True
+                    break
+                continue
+            if isinstance(literal, Comparison):
+                truth = comparison_truth(literal)
+                if truth is False:
+                    return None
+                if truth is True:
+                    literals.remove(literal)
+                    changed = True
+                    break
+                binding = _equality_binding(literal)
+                if binding is not None:
+                    variable, image = binding
+                    substitution = Substitution({variable: image})
+                    literals = [
+                        substitution.apply_literal(other)
+                        for other in literals if other is not literal
+                    ]
+                    changed = True
+                    break
+            elif isinstance(literal, AggregateCondition):
+                truth = _aggregate_truth(literal)
+                if truth is False:
+                    return None
+                if truth is True:
+                    literals.remove(literal)
+                    changed = True
+                    break
+    deduplicated: list[Literal] = []
+    for literal in literals:
+        if literal not in deduplicated:
+            deduplicated.append(literal)
+    if not deduplicated:
+        return Denial(ALWAYS_VIOLATED_BODY)
+    return Denial(tuple(deduplicated))
+
+
+def _normalize_negation(negation: Negation,
+                        outer_vars: set) -> "Negation | bool | None":
+    """Normalize a negated subquery.
+
+    Returns ``True`` when the negation is trivially satisfied (its body
+    is unsatisfiable — the literal can be dropped), ``None`` when it is
+    trivially false (its body is trivially satisfiable — the enclosing
+    denial always holds), or the (possibly rewritten) negation.
+    """
+    body = list(negation.body)
+    changed = True
+    while changed:
+        changed = False
+        for inner in body:
+            if not isinstance(inner, Comparison):
+                continue
+            truth = comparison_truth(inner)
+            if truth is False:
+                return True  # inner conjunction unsatisfiable
+            if truth is True:
+                body.remove(inner)
+                changed = True
+                break
+            binding = _local_equality_binding(inner, outer_vars)
+            if binding is None:
+                continue
+            variable, image = binding
+            substitution = Substitution({variable: image})
+            body = [
+                substitution.apply_literal(other)  # type: ignore[misc]
+                for other in body if other is not inner
+            ]
+            changed = True
+            break
+    deduplicated: list = []
+    for inner in body:
+        if inner not in deduplicated:
+            deduplicated.append(inner)
+    if not deduplicated:
+        return None  # ¬(true)
+    return Negation(tuple(deduplicated))
+
+
+def _equality_binding(
+        comparison: Comparison) -> tuple[Variable, Term] | None:
+    if comparison.op != "eq":
+        return None
+    left, right = comparison.left, comparison.right
+    if isinstance(left, Variable):
+        return left, right
+    if isinstance(right, Variable):
+        return right, left
+    return None
+
+
+def _local_equality_binding(
+        comparison: Comparison,
+        outer_vars: set) -> tuple[Variable, Term] | None:
+    """Like :func:`_equality_binding`, but only a variable local to the
+    enclosing negation may be eliminated — outer-scoped variables are
+    bound elsewhere and must survive as conditions."""
+    if comparison.op != "eq":
+        return None
+    for variable, image in ((comparison.left, comparison.right),
+                            (comparison.right, comparison.left)):
+        if isinstance(variable, Variable) and variable not in outer_vars:
+            return variable, image
+    return None
+
+
+def _aggregate_truth(condition: AggregateCondition) -> bool | None:
+    """Decide aggregate conditions that do not depend on the data.
+
+    Counts are always ≥ 0, which settles comparisons against negative
+    (or zero, for ``≥``/``<``) constant bounds.
+    """
+    if condition.aggregate.func != "cnt":
+        return None
+    bound = condition.bound
+    if not isinstance(bound, Constant) \
+            or not isinstance(bound.value, (int, float)):
+        return None
+    value = bound.value
+    if condition.op == "ge" and value <= 0:
+        return True
+    if condition.op == "gt" and value < 0:
+        return True
+    if condition.op == "lt" and value <= 0:
+        return False
+    if condition.op == "le" and value < 0:
+        return False
+    return None
+
+
+def optimize(denials: Iterable[Denial],
+             trusted: Sequence[Denial] = ()) -> list[Denial]:
+    """``Optimize_trusted``: normalize, then remove provable denials."""
+    normalized: list[Denial] = []
+    for denial in denials:
+        normal = normalize_denial(denial)
+        if normal is None:
+            continue
+        if always_violated(normal):
+            # one unconditional violation makes every other check moot
+            return [normal]
+        if normal not in normalized:
+            normalized.append(normal)
+
+    if trusted:
+        rewritten: list[Denial] = []
+        for denial in normalized:
+            simplified = _drop_trusted_negations(denial, trusted)
+            if simplified is not denial:
+                simplified_normal = normalize_denial(simplified)
+                if simplified_normal is None:
+                    continue
+                if always_violated(simplified_normal):
+                    return [simplified_normal]
+                denial = simplified_normal
+            if denial not in rewritten:
+                rewritten.append(denial)
+        normalized = rewritten
+
+    alive = list(normalized)
+    for candidate in list(alive):
+        others = [denial for denial in alive if denial is not candidate]
+        if any(subsumes(trusted_denial, candidate)
+               for trusted_denial in trusted):
+            alive.remove(candidate)
+            continue
+        if any(subsumes(other, candidate) for other in others):
+            alive.remove(candidate)
+    return alive
+
+
+def _drop_trusted_negations(denial: Denial,
+                            trusted: Sequence[Denial]) -> Denial:
+    """Drop negation literals whose bodies the trusted set refutes.
+
+    If a trusted denial subsumes ``← body(N)``, the negated subquery is
+    unsatisfiable in the present state, so ``¬body`` holds trivially
+    and the literal is redundant (e.g. a Δ freshness hypothesis kills a
+    negation referring to a fresh identifier).
+    """
+    kept: list[Literal] = []
+    changed = False
+    for literal in denial.body:
+        if isinstance(literal, Negation):
+            as_denial = Denial(literal.body)
+            if any(subsumes(trusted_denial, as_denial)
+                   for trusted_denial in trusted):
+                changed = True
+                continue
+        kept.append(literal)
+    if not changed:
+        return denial
+    if not kept:
+        return Denial(ALWAYS_VIOLATED_BODY)
+    return Denial(tuple(kept))

@@ -1,0 +1,36 @@
+"""``Simp`` — the complete simplification procedure (definition 3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datalog.denial import Denial
+from repro.simplify.after import after
+from repro.simplify.optimize import optimize
+from repro.simplify.update import UpdatePattern
+
+
+def simp(constraints: Iterable[Denial], update: UpdatePattern,
+         hypotheses: Sequence[Denial] = ()) -> list[Denial]:
+    """``Simp^U_Δ(Γ) = Optimize_{Γ∪Δ}(After^U(Γ))``.
+
+    Args:
+        constraints: the constraint set Γ, assumed to hold in the
+            present state.
+        update: the parametric insertion pattern U.
+        hypotheses: the extra trusted denials Δ (typically the freshness
+            hypotheses of :func:`repro.simplify.freshness_hypotheses`).
+
+    Returns:
+        The optimized denials, instantiated with the update's
+        parameters.  By theorem 1, they hold in a consistent state D iff
+        Γ holds in D^U — so they can be checked *before* executing the
+        update.  May raise
+        :class:`repro.errors.SimplificationError` when the pattern
+        falls outside the supported aggregate fragment; callers then
+        fall back to the full check.
+    """
+    constraints = list(constraints)
+    expanded = after(constraints, update)
+    trusted = constraints + list(hypotheses)
+    return optimize(expanded, trusted)

@@ -1,0 +1,111 @@
+"""Update patterns: parametric tuple insertions (section 5).
+
+An update transaction is a set of ground atoms to be added; parameters
+(boldface constants) make a *pattern* standing for the class of concrete
+transactions obtained by instantiating them.  Example 6's pattern for
+"insert a single-author submission under some reviewer" is::
+
+    U = { sub(is, ps, ir, t), auts(ia, pa, is, n) }
+
+with ``is``/``ia`` fresh node identifiers, ``ir`` the identifier of an
+existing ``rev`` node, ``ps``/``pa`` positions and ``t``/``n`` text
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.atoms import Atom
+from repro.datalog.denial import Denial
+from repro.datalog.terms import Constant, Parameter, Term, fresh_variable
+from repro.errors import SimplificationError
+from repro.relational.schema import RelationalSchema
+
+
+@dataclass(frozen=True)
+class UpdatePattern:
+    """A parametric insertion: the atoms added to the database.
+
+    ``fresh_parameters`` are the parameters standing for *new* node
+    identifiers — values guaranteed not to occur anywhere in the present
+    state.  They justify the Δ hypotheses and the distinct-count
+    reasoning on aggregates.
+    """
+
+    additions: tuple[Atom, ...]
+    fresh_parameters: frozenset[Parameter] = field(default_factory=frozenset)
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        for atom in self.additions:
+            for arg in atom.args:
+                if not isinstance(arg, (Constant, Parameter)):
+                    raise SimplificationError(
+                        f"update atoms must be ground over constants and "
+                        f"parameters; found {arg} in {atom}")
+
+    def parameters(self) -> set[Parameter]:
+        result: set[Parameter] = set()
+        for atom in self.additions:
+            result |= atom.parameters()
+        return result
+
+    def additions_for(self, predicate: str) -> tuple[Atom, ...]:
+        return tuple(atom for atom in self.additions
+                     if atom.predicate == predicate)
+
+    def predicates(self) -> set[str]:
+        return {atom.predicate for atom in self.additions}
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(atom) for atom in self.additions)
+        return "{" + inner + "}"
+
+
+def freshness_hypotheses(pattern: UpdatePattern,
+                         schema: RelationalSchema | None = None
+                         ) -> list[Denial]:
+    """The Δ of section 5.1 for an insertion pattern.
+
+    For every fresh node identifier ``i`` added as a node of type ``p``:
+
+    * ``← p(i, _, _, ...)`` — no existing node has the new identifier;
+    * ``← c(_, _, i, ...)`` for every node type ``c`` that can have a
+      ``p`` parent — no existing node is a child of the new node.
+
+    When ``schema`` is given, the child hypotheses are restricted to the
+    child predicates the DTD allows (exactly the Δ of example 6);
+    without a schema only the first kind is generated.
+    """
+    hypotheses: list[Denial] = []
+    seen: set[tuple[str, str, str]] = set()
+    for atom in pattern.additions:
+        identifier = atom.args[0] if atom.args else None
+        if not isinstance(identifier, Parameter) \
+                or identifier not in pattern.fresh_parameters:
+            continue
+        key = ("id", atom.predicate, identifier.name)
+        if key not in seen:
+            seen.add(key)
+            hypotheses.append(Denial((_wildcard_atom(
+                atom.predicate, len(atom.args), {0: identifier}),)))
+        if schema is None or not schema.has_predicate(atom.predicate):
+            continue
+        for child_tag, child in schema.predicates.items():
+            if atom.predicate not in child.parent_tags:
+                continue
+            child_key = ("parent", child_tag, identifier.name)
+            if child_key in seen:
+                continue
+            seen.add(child_key)
+            hypotheses.append(Denial((_wildcard_atom(
+                child_tag, child.arity(), {2: identifier}),)))
+    return hypotheses
+
+
+def _wildcard_atom(predicate: str, arity: int,
+                   pinned: dict[int, Term]) -> Atom:
+    args = tuple(
+        pinned.get(index, fresh_variable("_")) for index in range(arity))
+    return Atom(predicate, args)

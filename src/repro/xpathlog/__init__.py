@@ -1,0 +1,53 @@
+"""XPathLog: the constraint-specification language (section 3.1).
+
+XPathLog [May 2004] extends XPath path expressions with variable
+bindings (``→ Var``) and embeds them in a Horn-clause logic; integrity
+constraints are *denials* — headless clauses whose body must never be
+satisfiable.  This package provides a parser for the fragment used in
+the paper (path expressions over child/descendant/attribute/parent
+axes, ``text()`` and ``position()``, qualifiers, comparisons,
+disjunction, and the ``Cnt``/``Cnt_D``/``Sum``/... aggregates) and the
+compiler of section 4.2 that maps an XPathLog denial to a set of
+Datalog denials over the relational schema (one denial per disjunct of
+the disjunctive normal form, per footnote 3).
+"""
+
+from repro.xpathlog.ast import (
+    AggregateComparison,
+    AndCondition,
+    ComparisonCondition,
+    Condition,
+    ConstantOperand,
+    Constraint,
+    OrCondition,
+    PathCondition,
+    PathExpression,
+    PathOperand,
+    Step,
+    VariableOperand,
+)
+from repro.xpathlog.parser import (parse_constraint, parse_path,
+                                   parse_rule)
+from repro.xpathlog.compile import (CompiledView, compile_constraint,
+                                    compile_rule)
+
+__all__ = [
+    "AggregateComparison",
+    "AndCondition",
+    "ComparisonCondition",
+    "Condition",
+    "ConstantOperand",
+    "Constraint",
+    "OrCondition",
+    "PathCondition",
+    "PathExpression",
+    "PathOperand",
+    "Step",
+    "VariableOperand",
+    "parse_constraint",
+    "parse_path",
+    "parse_rule",
+    "CompiledView",
+    "compile_constraint",
+    "compile_rule",
+]

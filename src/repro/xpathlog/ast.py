@@ -1,0 +1,377 @@
+"""Abstract syntax of XPathLog constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Step:
+    """One axis step of a path expression.
+
+    ``axis`` is one of ``child``, ``descendant``, ``attribute``,
+    ``parent``, ``text`` and ``position`` (the last two model the
+    ``text()`` and ``position()`` node functions as steps, following the
+    paper's usage ``.../name/text() → R``).  ``nodetest`` is the element
+    or attribute name (``None`` for ``text``/``position`` steps).
+    ``binding`` is the variable bound with ``→ Var``, if any.
+    ``qualifiers`` are the bracketed conditions applied to the selection.
+    """
+
+    axis: str
+    nodetest: str | None = None
+    qualifiers: tuple["Condition", ...] = ()
+    binding: str | None = None
+
+    def __str__(self) -> str:
+        if self.axis == "text":
+            base = "text()"
+        elif self.axis == "position":
+            base = "position()"
+        elif self.axis == "parent":
+            base = ".."
+        elif self.axis == "attribute":
+            base = f"@{self.nodetest}"
+        else:
+            base = self.nodetest or "*"
+        for qualifier in self.qualifiers:
+            base += f"[{qualifier}]"
+        if self.binding is not None:
+            base += f" → {self.binding}"
+        return base
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A path: ``absolute`` when anchored at the document root.
+
+    ``descendant_flags[i]`` tells whether step *i* was reached with
+    ``//`` (descendant-or-self) rather than ``/``.
+    """
+
+    steps: tuple[Step, ...]
+    absolute: bool
+    descendant_flags: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.steps) != len(self.descendant_flags):
+            raise ValueError("one descendant flag per step is required")
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for index, (step, descendant) in enumerate(
+                zip(self.steps, self.descendant_flags)):
+            if index == 0 and not self.absolute:
+                separator = "//" if descendant else ""
+            else:
+                separator = "//" if descendant else "/"
+            parts.append(separator + str(step))
+        return "".join(parts)
+
+
+# -- comparison operands -----------------------------------------------------
+
+@dataclass(frozen=True)
+class VariableOperand:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstantOperand:
+    value: str | int | float
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class PathOperand:
+    """A (relative) path used as a comparison operand, e.g.
+    ``[title = "Duckburg tales"]``."""
+
+    path: PathExpression
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+Operand = Union[VariableOperand, ConstantOperand, PathOperand]
+
+
+# -- conditions ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathCondition:
+    """An existential path condition (possibly with bindings inside)."""
+
+    path: PathExpression
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class ComparisonCondition:
+    op: str  # "eq", "ne", "lt", "le", "gt", "ge"
+    left: Operand
+    right: Operand
+
+    _SYMBOLS = {"eq": "=", "ne": "≠", "lt": "<", "le": "≤", "gt": ">",
+                "ge": "≥"}
+
+    def __str__(self) -> str:
+        return f"{self.left} {self._SYMBOLS[self.op]} {self.right}"
+
+
+@dataclass(frozen=True)
+class AggregateComparison:
+    """``Cnt_D{Term [G1,...,Gn]; path} op bound`` (section 3.1).
+
+    ``term`` is the aggregated variable (``None`` for ``Cnt``/``Cnt_D``,
+    which count the selected nodes); ``group_by`` are the group-by
+    variable names, shared with the enclosing constraint body.
+    """
+
+    func: str  # "cnt", "sum", "max", "min", "avg"
+    distinct: bool
+    term: str | None
+    group_by: tuple[str, ...]
+    path: PathExpression
+    op: str
+    bound: int | float | str
+
+    def __str__(self) -> str:
+        name = self.func.capitalize() + ("D" if self.distinct else "")
+        term = "" if self.term is None else f"{self.term} "
+        groups = ",".join(self.group_by)
+        symbol = ComparisonCondition._SYMBOLS[self.op]
+        return (f"{name}{{{term}[{groups}]; {self.path}}} "
+                f"{symbol} {self.bound}")
+
+
+@dataclass(frozen=True)
+class PredicateCall:
+    """A call to a *view* — a named rule defined with a head
+    (``coauthor(A, B) <- ...``, section 3.1's Horn clauses).
+
+    Arguments are variables or constants; the call unfolds into the
+    view's body at compile time (views are non-recursive).
+    """
+
+    name: str
+    args: tuple["Operand", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    """Negation: ``not(...)`` / ``¬(...)``.
+
+    Negated paths compile to negated existential subqueries; negated
+    comparisons and aggregates are rewritten to their complementary
+    operators; boolean structure is pushed inward by De Morgan during
+    normalization.
+    """
+
+    item: "Condition"
+
+    def __str__(self) -> str:
+        return f"¬({self.item})"
+
+
+@dataclass(frozen=True)
+class AndCondition:
+    items: tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return " ∧ ".join(
+            f"({item})" if isinstance(item, OrCondition) else str(item)
+            for item in self.items)
+
+
+@dataclass(frozen=True)
+class OrCondition:
+    items: tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return " ∨ ".join(str(item) for item in self.items)
+
+
+Condition = Union[PathCondition, ComparisonCondition, AggregateComparison,
+                  AndCondition, OrCondition, NotCondition, PredicateCall]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An XPathLog denial: ``← body``."""
+
+    body: Condition
+    #: the original source text, when produced by the parser
+    source: str | None = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return f"← {self.body}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn clause with a head: a view definition.
+
+    ``head_name(head_params) <- body``; the body is any condition
+    without disjunction (one conjunct) so calls unfold into a single
+    literal list.
+    """
+
+    head_name: str
+    head_params: tuple[str, ...]
+    body: Condition
+    source: str | None = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        params = ", ".join(self.head_params)
+        return f"{self.head_name}({params}) ← {self.body}"
+
+
+def normalize_disjuncts(condition: Condition) -> list[list[Condition]]:
+    """Disjunctive normal form of a condition tree.
+
+    Returns a list of conjunctions, each a list of atomic conditions
+    (path / comparison / aggregate).  Disjunctions nested inside path
+    qualifiers are hoisted by splitting the enclosing path condition
+    into one variant per combination (footnote 3 of the paper reduces
+    every denial to this normal form).
+    """
+    if isinstance(condition, AndCondition):
+        result: list[list[Condition]] = [[]]
+        for item in condition.items:
+            item_dnf = normalize_disjuncts(item)
+            result = [
+                existing + branch
+                for existing in result
+                for branch in item_dnf
+            ]
+        return result
+    if isinstance(condition, OrCondition):
+        result = []
+        for item in condition.items:
+            result.extend(normalize_disjuncts(item))
+        return result
+    if isinstance(condition, PathCondition):
+        return [
+            [PathCondition(variant)]
+            for variant in _path_variants(condition.path)
+        ]
+    if isinstance(condition, ComparisonCondition):
+        variants: list[list[Condition]] = [[]]
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, PathOperand):
+                operand_variants = _path_variants(operand.path)
+            else:
+                operand_variants = [None]  # type: ignore[list-item]
+            variants = [
+                existing + [variant]  # type: ignore[list-item]
+                for existing in variants
+                for variant in operand_variants
+            ]
+        results = []
+        for combo in variants:
+            left = PathOperand(combo[0]) if combo[0] is not None \
+                else condition.left
+            right = PathOperand(combo[1]) if combo[1] is not None \
+                else condition.right
+            results.append(
+                [ComparisonCondition(condition.op, left, right)])
+        return results
+    if isinstance(condition, AggregateComparison):
+        return [
+            [AggregateComparison(condition.func, condition.distinct,
+                                 condition.term, condition.group_by,
+                                 variant, condition.op, condition.bound)]
+            for variant in _path_variants(condition.path)
+        ]
+    if isinstance(condition, PredicateCall):
+        return [[condition]]
+    if isinstance(condition, NotCondition):
+        return _normalize_negation(condition.item)
+    raise TypeError(f"unknown condition kind: {condition!r}")
+
+
+_NEGATED_OPS = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+                "gt": "le", "le": "gt"}
+
+
+def _normalize_negation(item: "Condition") -> list[list["Condition"]]:
+    """DNF of ``¬item``: push the negation inward."""
+    if isinstance(item, NotCondition):
+        return normalize_disjuncts(item.item)
+    if isinstance(item, AndCondition):
+        # ¬(A ∧ B) = ¬A ∨ ¬B
+        result: list[list[Condition]] = []
+        for sub in item.items:
+            result.extend(_normalize_negation(sub))
+        return result
+    if isinstance(item, OrCondition):
+        # ¬(A ∨ B) = ¬A ∧ ¬B
+        combined: list[list[Condition]] = [[]]
+        for sub in item.items:
+            sub_dnf = _normalize_negation(sub)
+            combined = [
+                existing + branch
+                for existing in combined
+                for branch in sub_dnf
+            ]
+        return combined
+    if isinstance(item, ComparisonCondition):
+        return [[ComparisonCondition(_NEGATED_OPS[item.op], item.left,
+                                     item.right)]]
+    if isinstance(item, AggregateComparison):
+        return [[AggregateComparison(item.func, item.distinct, item.term,
+                                     item.group_by, item.path,
+                                     _NEGATED_OPS[item.op], item.bound)]]
+    if isinstance(item, PathCondition):
+        # ¬(p1 ∨ p2 ∨ ...) over qualifier variants: conjunction of ¬pi
+        variants = _path_variants(item.path)
+        return [[NotCondition(PathCondition(variant))
+                 for variant in variants]]
+    if isinstance(item, PredicateCall):
+        return [[NotCondition(item)]]
+    raise TypeError(f"unknown condition kind: {item!r}")
+
+
+def _path_variants(path: PathExpression) -> list[PathExpression]:
+    """Split a path whose qualifiers contain disjunctions into variants."""
+    step_variant_lists: list[list[Step]] = []
+    for step in path.steps:
+        qualifier_dnf_lists: list[list[list[Condition]]] = [
+            normalize_disjuncts(qualifier) for qualifier in step.qualifiers]
+        combos: list[tuple[Condition, ...]] = [()]
+        for dnf in qualifier_dnf_lists:
+            combos = [
+                existing + tuple(branch)
+                for existing in combos
+                for branch in dnf
+            ]
+        step_variant_lists.append([
+            Step(step.axis, step.nodetest, combo, step.binding)
+            for combo in combos
+        ])
+    variants: list[tuple[Step, ...]] = [()]
+    for step_variants in step_variant_lists:
+        variants = [
+            existing + (variant,)
+            for existing in variants
+            for variant in step_variants
+        ]
+    return [
+        PathExpression(steps, path.absolute, path.descendant_flags)
+        for steps in variants
+    ]

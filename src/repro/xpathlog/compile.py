@@ -1,0 +1,665 @@
+"""Compilation of XPathLog denials to Datalog denials (section 4.2).
+
+Each disjunct of the constraint's disjunctive normal form yields one
+Datalog denial.  Path expressions generate chains of atoms over the
+predicates of the traversed node types; parent-child containment
+becomes equality between the id of the container and the third argument
+(``parent``) of the contained atom.  Text of inlined children maps to
+value columns, ``position()`` to the second argument.
+
+The compiler emits one fresh anonymous variable per unconstrained
+column and records bindings/filters as equations; a final
+equality-folding pass substitutes them away, yielding denials in the
+compact form of example 3 (e.g. constants sit directly inside atom
+arguments, ``← pub(Ip,_,_,"Duckburg tales") ∧ aut(_,_,Ip,"Goofy")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.atoms import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Literal,
+    Negation,
+    comparison_truth,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.subst import Substitution
+from repro.datalog.terms import (
+    Constant,
+    Term,
+    Variable,
+    fresh_variable,
+    is_anonymous,
+)
+from repro.errors import CompilationError
+from repro.relational.prune import prune_implied_parent_atoms
+from repro.relational.schema import RelationalSchema
+from repro.xpathlog.ast import (
+    AggregateComparison,
+    ComparisonCondition,
+    Condition,
+    ConstantOperand,
+    Constraint,
+    NotCondition,
+    Operand,
+    PathCondition,
+    PathExpression,
+    PathOperand,
+    PredicateCall,
+    Rule,
+    Step,
+    VariableOperand,
+    normalize_disjuncts,
+)
+
+
+@dataclass
+class _Context:
+    """Where a partially compiled path currently stands.
+
+    * ``kind == "root"`` — at a document root (``tag`` is the root tag,
+      or ``None`` for "any document");
+    * ``kind == "node"`` — at an element with a predicate; ``id_var`` is
+      the variable holding its node id and ``atom`` its atom;
+    * ``kind == "value"`` — at a character-data or attribute value
+      (inlined column, ``text()`` result, ``position()`` result,
+      attribute); ``value_var`` holds the value.
+    """
+
+    kind: str
+    tag: str | None = None
+    id_var: Variable | None = None
+    atom: Atom | None = None
+    value_var: Variable | None = None
+
+
+@dataclass
+class _Scope:
+    """Literal accumulator for one denial (or one aggregate body)."""
+
+    schema: RelationalSchema
+    variables: dict[str, Variable]
+    literals: list[Literal] = field(default_factory=list)
+    #: id var → atom, for parent-step reuse
+    atoms_by_id: dict[Variable, Atom] = field(default_factory=dict)
+
+    def anonymous(self) -> Variable:
+        return fresh_variable("_")
+
+    def user_variable(self, name: str) -> Variable:
+        if name not in self.variables:
+            self.variables[name] = Variable(name)
+        return self.variables[name]
+
+    def new_atom(self, tag: str, parent_term: Term) -> tuple[Atom, Variable]:
+        predicate = self.schema.predicate_for(tag)
+        id_var = fresh_variable("I" + tag[:1])
+        args: list[Term] = [id_var, self.anonymous(), parent_term]
+        args.extend(self.anonymous() for _ in predicate.value_columns())
+        atom = Atom(tag, tuple(args))
+        self.literals.append(atom)
+        self.atoms_by_id[id_var] = atom
+        return atom, id_var
+
+    def atom_for_id(self, tag: str, id_term: Term) -> tuple[Atom, Term]:
+        """Find or create the atom describing the node with id ``id_term``."""
+        if isinstance(id_term, Variable) and id_term in self.atoms_by_id:
+            return self.atoms_by_id[id_term], id_term
+        predicate = self.schema.predicate_for(tag)
+        args: list[Term] = [id_term, self.anonymous(), self.anonymous()]
+        args.extend(self.anonymous() for _ in predicate.value_columns())
+        atom = Atom(tag, tuple(args))
+        self.literals.append(atom)
+        if isinstance(id_term, Variable):
+            self.atoms_by_id[id_term] = atom
+        return atom, id_term
+
+    def equate(self, left: Term, right: Term) -> None:
+        if left != right:
+            self.literals.append(Comparison("eq", left, right))
+
+
+@dataclass(frozen=True)
+class CompiledView:
+    """A compiled view: parameters plus the unfoldable body literals."""
+
+    name: str
+    params: tuple[Variable, ...]
+    literals: tuple[Literal, ...]
+
+    def arity(self) -> int:
+        return len(self.params)
+
+
+class _Compiler:
+    def __init__(self, schema: RelationalSchema,
+                 views: "dict[str, CompiledView] | None" = None) -> None:
+        self.schema = schema
+        self.views = views or {}
+
+    # -- conditions -----------------------------------------------------------
+
+    def compile_conjunct(self, conditions: list[Condition],
+                         variables: dict[str, Variable]) -> list[Literal]:
+        scope = _Scope(self.schema, variables)
+        for condition in conditions:
+            self.compile_condition(condition, scope, context=None)
+        return scope.literals
+
+    def compile_condition(self, condition: Condition, scope: _Scope,
+                          context: _Context | None) -> None:
+        if isinstance(condition, PathCondition):
+            self.compile_path(condition.path, scope, context)
+        elif isinstance(condition, ComparisonCondition):
+            left = self.compile_operand(condition.left, scope, context)
+            right = self.compile_operand(condition.right, scope, context)
+            scope.literals.append(Comparison(condition.op, left, right))
+        elif isinstance(condition, AggregateComparison):
+            scope.literals.append(
+                self.compile_aggregate(condition, scope, context))
+        elif isinstance(condition, NotCondition):
+            scope.literals.append(
+                self.compile_negation(condition, scope, context))
+        elif isinstance(condition, PredicateCall):
+            scope.literals.extend(self.unfold_view(condition, scope))
+        else:
+            raise CompilationError(
+                f"nested boolean structure must be normalized away before "
+                f"compilation: {condition}")
+
+    def compile_operand(self, operand: Operand, scope: _Scope,
+                        context: _Context | None) -> Term:
+        if isinstance(operand, ConstantOperand):
+            return Constant(operand.value)
+        if isinstance(operand, VariableOperand):
+            return scope.user_variable(operand.name)
+        assert isinstance(operand, PathOperand)
+        result = self.compile_path(operand.path, scope, context)
+        return self.context_value(result, operand.path)
+
+    def context_value(self, context: _Context, path: PathExpression) -> Term:
+        """The comparable value of a path result.
+
+        Value contexts compare by their character data; node contexts of
+        a type with a text column compare by text; other nodes compare
+        by node identity (their id).
+        """
+        if context.kind == "value":
+            assert context.value_var is not None
+            return context.value_var
+        if context.kind == "node":
+            assert context.atom is not None and context.tag is not None
+            predicate = self.schema.predicate_for(context.tag)
+            if predicate.has_text_column():
+                return context.atom.args[predicate.text_index()]
+            assert context.id_var is not None
+            return context.id_var
+        raise CompilationError(
+            f"path {path} selects a document root and cannot be compared")
+
+    # -- paths ------------------------------------------------------------------
+
+    def compile_path(self, path: PathExpression, scope: _Scope,
+                     context: _Context | None) -> _Context:
+        if path.absolute or context is None:
+            current = _Context("root", tag=None)
+        else:
+            current = context
+        for step, descendant in zip(path.steps, path.descendant_flags):
+            current = self.compile_step(step, descendant, scope, current)
+        return current
+
+    def compile_step(self, step: Step, descendant: bool, scope: _Scope,
+                     context: _Context) -> _Context:
+        if step.axis in ("child", "descendant"):
+            result = self.navigate(context, step.nodetest or "", descendant,
+                                   scope)
+        elif step.axis == "parent":
+            result = self.navigate_parent(context, scope)
+        elif step.axis == "attribute":
+            result = self.attribute_value(context, step.nodetest or "", scope)
+        elif step.axis == "text":
+            result = self.text_value(context, scope)
+        elif step.axis == "position":
+            result = self.position_value(context)
+        else:
+            raise CompilationError(f"unsupported axis {step.axis!r}")
+        for qualifier in step.qualifiers:
+            self.compile_condition(qualifier, scope, result)
+        if step.binding is not None:
+            self.bind_variable(step.binding, result, scope)
+        return result
+
+    def navigate(self, context: _Context, tag: str, descendant: bool,
+                 scope: _Scope) -> _Context:
+        if context.kind == "value":
+            raise CompilationError(
+                f"cannot navigate into {tag!r} from a text or attribute value")
+        if context.kind == "root":
+            return self.navigate_from_root(context, tag, descendant, scope)
+        assert context.kind == "node" and context.tag is not None
+        assert context.id_var is not None
+        if self.schema.is_inlined(context.tag, tag):
+            predicate = self.schema.predicate_for(context.tag)
+            index = predicate.text_child_index(tag)
+            assert context.atom is not None
+            return _Context("value", tag=tag,
+                            value_var=self.column_var(context.atom, index,
+                                                      scope))
+        if self.schema.has_predicate(tag) and context.tag in \
+                self.schema.predicate_for(tag).parent_tags:
+            atom, id_var = scope.new_atom(tag, context.id_var)
+            return _Context("node", tag=tag, id_var=id_var, atom=atom)
+        if descendant:
+            return self.navigate_chain(context, tag, scope)
+        raise CompilationError(
+            f"{tag!r} is not a child node type of {context.tag!r}")
+
+    def navigate_from_root(self, context: _Context, tag: str,
+                           descendant: bool, scope: _Scope) -> _Context:
+        if self.schema.is_root(tag):
+            if context.tag is not None:
+                raise CompilationError(
+                    f"root {tag!r} cannot occur under {context.tag!r}")
+            return _Context("root", tag=tag)
+        if self.schema.has_predicate(tag):
+            if not descendant and context.tag is not None:
+                parents = self.schema.predicate_for(tag).parent_tags
+                if context.tag not in parents:
+                    raise CompilationError(
+                        f"{tag!r} is not a child of root {context.tag!r}")
+            # the parent column is unconstrained: in a fixed schema the
+            # ancestry of a node type is determined by the DTD
+            atom, id_var = scope.new_atom(tag, scope.anonymous())
+            return _Context("node", tag=tag, id_var=id_var, atom=atom)
+        parents = [parent for (parent, child) in self.schema.inlined
+                   if child == tag]
+        if len(parents) == 1 and descendant:
+            parent_context = self.navigate_from_root(context, parents[0],
+                                                     True, scope)
+            return self.navigate(parent_context, tag, False, scope)
+        raise CompilationError(
+            f"cannot resolve //{tag}: node type unknown or reachable "
+            "through multiple parents")
+
+    def navigate_chain(self, context: _Context, tag: str,
+                       scope: _Scope) -> _Context:
+        """Descendant navigation: find the unique tag chain and emit it."""
+        assert context.tag is not None
+        chains = self.chains_between(context.tag, tag)
+        if not chains:
+            raise CompilationError(
+                f"no descendant chain from {context.tag!r} to {tag!r}")
+        if len(chains) > 1:
+            raise CompilationError(
+                f"descendant step //{tag} from {context.tag!r} is ambiguous: "
+                + "; ".join("/".join(chain) for chain in chains))
+        current = context
+        for link in chains[0]:
+            current = self.navigate(current, link, False, scope)
+        return current
+
+    def chains_between(self, ancestor: str, target: str) -> list[list[str]]:
+        """All predicate chains ``ancestor / ... / target``."""
+        results: list[list[str]] = []
+
+        def explore(tag: str, suffix: list[str]) -> None:
+            if self.schema.has_predicate(tag):
+                for parent in self.schema.predicate_for(tag).parent_tags:
+                    if parent == ancestor:
+                        results.append([tag] + suffix)
+                    elif not self.schema.is_root(parent):
+                        explore(parent, [tag] + suffix)
+            else:
+                for (parent, child) in self.schema.inlined:
+                    if child == tag:
+                        if parent == ancestor:
+                            results.append([tag] + suffix)
+                        else:
+                            explore(parent, [tag] + suffix)
+
+        explore(target, [])
+        return results
+
+    def navigate_parent(self, context: _Context, scope: _Scope) -> _Context:
+        if context.kind != "node" or context.atom is None \
+                or context.tag is None:
+            raise CompilationError("'..' requires an element context")
+        parents = self.schema.predicate_for(context.tag).parent_tags
+        if len(parents) != 1:
+            raise CompilationError(
+                f"parent of {context.tag!r} is ambiguous: {parents}")
+        parent_tag = parents[0]
+        parent_term = context.atom.args[2]
+        if self.schema.is_root(parent_tag):
+            return _Context("root", tag=parent_tag)
+        atom, id_term = scope.atom_for_id(parent_tag, parent_term)
+        id_var = id_term if isinstance(id_term, Variable) else None
+        return _Context("node", tag=parent_tag, id_var=id_var, atom=atom)
+
+    def attribute_value(self, context: _Context, attribute: str,
+                        scope: _Scope) -> _Context:
+        if context.kind != "node" or context.atom is None \
+                or context.tag is None:
+            raise CompilationError("'@' requires an element context")
+        predicate = self.schema.predicate_for(context.tag)
+        index = predicate.attribute_index(attribute)
+        return _Context("value", tag=context.tag,
+                        value_var=self.column_var(context.atom, index, scope))
+
+    def text_value(self, context: _Context, scope: _Scope) -> _Context:
+        if context.kind == "value":
+            return context  # text() of an inlined child is its column
+        if context.kind == "node" and context.tag is not None:
+            predicate = self.schema.predicate_for(context.tag)
+            if predicate.has_text_column():
+                assert context.atom is not None
+                return _Context(
+                    "value", tag=context.tag,
+                    value_var=self.column_var(
+                        context.atom, predicate.text_index(), scope))
+        raise CompilationError(
+            f"text() is not available at {context.tag!r}")
+
+    def position_value(self, context: _Context) -> _Context:
+        if context.kind != "node" or context.atom is None:
+            raise CompilationError("position() requires an element context")
+        position = context.atom.args[1]
+        if not isinstance(position, Variable):
+            raise CompilationError("position() column is not a variable")
+        return _Context("value", tag=context.tag, value_var=position)
+
+    def column_var(self, atom: Atom, index: int, scope: _Scope) -> Variable:
+        term = atom.args[index]
+        if isinstance(term, Variable):
+            return term
+        # the column already holds a constant: introduce an alias
+        alias = scope.anonymous()
+        scope.equate(alias, term)
+        return alias
+
+    def bind_variable(self, name: str, context: _Context,
+                      scope: _Scope) -> None:
+        variable = scope.user_variable(name)
+        if context.kind == "value":
+            assert context.value_var is not None
+            scope.equate(context.value_var, variable)
+        elif context.kind == "node":
+            assert context.id_var is not None
+            scope.equate(context.id_var, variable)
+        else:
+            raise CompilationError(
+                "cannot bind a variable to a document root")
+
+    # -- views ---------------------------------------------------------------------
+
+    def unfold_view(self, call: PredicateCall,
+                    scope: _Scope) -> list[Literal]:
+        """Inline a view call: rename the body apart, bind parameters.
+
+        Views are compiled once (see :func:`compile_rule`) and unfold
+        to plain literals, so the whole simplification and translation
+        machinery applies to constraints over views for free.
+        """
+        view = self.views.get(call.name)
+        if view is None:
+            raise CompilationError(
+                f"unknown view {call.name!r}; known views: "
+                + (", ".join(sorted(self.views)) or "none"))
+        if len(call.args) != view.arity():
+            raise CompilationError(
+                f"view {call.name!r} takes {view.arity()} arguments, "
+                f"got {len(call.args)}")
+        view_vars: set[Variable] = set()
+        for literal in view.literals:
+            view_vars |= literal.variables()
+        view_vars |= set(view.params)
+        renaming = Substitution({
+            var: fresh_variable(var.name.split("#")[0])
+            for var in sorted(view_vars, key=lambda v: v.name)
+        })
+        binding = Substitution()
+        for param, arg in zip(view.params, call.args):
+            renamed = renaming.apply_term(param)
+            assert isinstance(renamed, Variable)
+            if isinstance(arg, VariableOperand):
+                term: Term = scope.user_variable(arg.name)
+            elif isinstance(arg, ConstantOperand):
+                term = Constant(arg.value)
+            else:
+                raise CompilationError(
+                    "view-call arguments must be variables or literals")
+            binding = binding.bind(renamed, term)
+        return [
+            binding.apply_literal(renaming.apply_literal(literal))
+            for literal in view.literals
+        ]
+
+    # -- negations -------------------------------------------------------------------
+
+    def compile_negation(self, condition: NotCondition, scope: _Scope,
+                         context: _Context | None) -> Negation:
+        """Compile ``not(path)`` into a negated existential subquery.
+
+        Negated comparisons/aggregates/boolean structure never reach
+        the compiler — DNF normalization rewrites them — so the inner
+        condition here is a path (possibly with qualifiers).  The inner
+        path is compiled in a nested scope: variables shared with the
+        outer body resolve to the same Datalog variables, variables
+        first bound inside stay local (existentially quantified under
+        the negation).
+        """
+        inner = condition.item
+        if isinstance(inner, PredicateCall):
+            literals = self.unfold_view(inner, scope)
+            body: list[Literal] = []
+            for literal in literals:
+                if isinstance(literal, (Atom, Comparison)):
+                    body.append(literal)
+                else:
+                    raise CompilationError(
+                        f"negated view {inner.name!r} must unfold to "
+                        "atoms and comparisons only")
+            if not body:
+                raise CompilationError(
+                    f"negated view {inner.name!r} has an empty body")
+            return Negation(tuple(body))
+        if not isinstance(inner, PathCondition):
+            raise CompilationError(
+                f"unnormalized negation reached the compiler: {condition}")
+        inner_scope = _Scope(self.schema, dict(scope.variables))
+        self.compile_path(inner.path, inner_scope, context)
+        folded, _ = fold_equalities(inner_scope.literals)
+        body: list[Literal] = []
+        for literal in folded:
+            if isinstance(literal, (Atom, Comparison)):
+                body.append(literal)
+            else:
+                raise CompilationError(
+                    "negations may contain only paths and comparisons; "
+                    f"found {literal}")
+        if not body:
+            raise CompilationError(
+                f"negated path {inner.path} compiled to an empty body")
+        return Negation(tuple(body))
+
+    # -- aggregates ----------------------------------------------------------------
+
+    def compile_aggregate(self, condition: AggregateComparison, scope: _Scope,
+                          context: _Context | None) -> AggregateCondition:
+        inner = _Scope(self.schema, variables={})
+        group_terms: list[Term] = []
+        for name in condition.group_by:
+            outer_var = scope.user_variable(name)
+            inner.variables[name] = outer_var
+            group_terms.append(outer_var)
+        if context is not None:
+            raise CompilationError(
+                "aggregates inside qualifiers are not supported")
+        result = self.compile_path(condition.path, inner, None)
+        if condition.term is not None:
+            term: Term | None = inner.user_variable(condition.term)
+        elif condition.distinct or condition.func != "cnt":
+            term = self.context_value_for_aggregate(result)
+        else:
+            term = None
+        literals, folding = fold_equalities(inner.literals)
+        atoms: list[Atom] = []
+        for literal in literals:
+            if isinstance(literal, Atom):
+                atoms.append(literal)
+            else:
+                raise CompilationError(
+                    "aggregate bodies must reduce to a conjunction of "
+                    f"atoms; residual condition: {literal}")
+        if term is not None:
+            term = folding.apply_term(term)
+        group_terms = [folding.apply_term(group) for group in group_terms]
+        aggregate = Aggregate(condition.func,
+                              condition.distinct,
+                              term,
+                              tuple(group_terms),
+                              tuple(atoms))
+        return AggregateCondition(aggregate, condition.op,
+                                  Constant(condition.bound))
+
+    def context_value_for_aggregate(self, context: _Context) -> Term:
+        if context.kind == "node":
+            assert context.id_var is not None
+            return context.id_var
+        if context.kind == "value":
+            assert context.value_var is not None
+            return context.value_var
+        raise CompilationError("cannot aggregate over document roots")
+
+
+def fold_equalities(
+        literals: list[Literal]) -> tuple[list[Literal], Substitution]:
+    """Substitute away ``Var = term`` equations and drop trivial ones.
+
+    Prefers eliminating compiler-generated (anonymous or ``#``-suffixed
+    fresh) variables so that user variable names survive in the output.
+    Returns the folded literals together with the composed substitution,
+    so callers can replay the eliminations on terms kept outside the
+    literal list (aggregated terms, group-by terms).
+    """
+    current = list(literals)
+    composed = Substitution()
+    changed = True
+    while changed:
+        changed = False
+        for literal in current:
+            if not isinstance(literal, Comparison) or literal.op != "eq":
+                continue
+            truth = comparison_truth(literal)
+            if truth is True:
+                current.remove(literal)
+                changed = True
+                break
+            variable, image = _pick_elimination(literal)
+            if variable is None:
+                continue
+            substitution = Substitution({variable: image})
+            composed = composed.compose(substitution)
+            current = [
+                substitution.apply_literal(other)
+                for other in current if other is not literal
+            ]
+            changed = True
+            break
+    return current, composed
+
+
+def _is_fresh(term: Term) -> bool:
+    return isinstance(term, Variable) \
+        and (is_anonymous(term) or "#" in term.name)
+
+
+def _pick_elimination(comparison: Comparison) -> tuple[Variable | None, Term]:
+    left, right = comparison.left, comparison.right
+    if _is_fresh(left):
+        return left, right  # type: ignore[return-value]
+    if _is_fresh(right):
+        return right, left  # type: ignore[return-value]
+    if isinstance(left, Variable):
+        return left, right
+    if isinstance(right, Variable):
+        return right, left
+    return None, left
+
+
+def compile_rule(rule: Rule, schema: RelationalSchema,
+                 views: "dict[str, CompiledView] | None" = None
+                 ) -> CompiledView:
+    """Compile a view definition into unfoldable body literals.
+
+    The body must be disjunction-free (one conjunct); it may reference
+    previously compiled views (no recursion).  Head parameters must be
+    bound by the body.
+    """
+    disjuncts = normalize_disjuncts(rule.body)
+    if len(disjuncts) != 1:
+        raise CompilationError(
+            f"view {rule.head_name!r} has a disjunctive body; split it "
+            "into separate constraints instead")
+    if views and rule.head_name in views:
+        raise CompilationError(
+            f"view {rule.head_name!r} is defined twice")
+    compiler = _Compiler(schema, views)
+    variables: dict[str, Variable] = {}
+    literals = compiler.compile_conjunct(disjuncts[0], variables)
+    params = tuple(variables.setdefault(name, Variable(name))
+                   for name in rule.head_params)
+    folded, folding = fold_equalities(literals)
+    folded_params = []
+    for param in params:
+        image = folding.apply_term(param)
+        if not isinstance(image, Variable):
+            # a head parameter folded to a constant: keep it via a
+            # fresh variable equated to that constant
+            alias = fresh_variable(param.name)
+            folded = folded + [Comparison("eq", alias, image)]
+            image = alias
+        folded_params.append(image)
+    body_vars: set[Variable] = set()
+    for literal in folded:
+        body_vars |= literal.variables()
+    for param, name in zip(folded_params, rule.head_params):
+        if param not in body_vars:
+            raise CompilationError(
+                f"head parameter {name} of view {rule.head_name!r} is "
+                "not bound by the body")
+    return CompiledView(rule.head_name, tuple(folded_params),
+                        tuple(folded))
+
+
+def compile_constraint(constraint: Constraint,
+                       schema: RelationalSchema,
+                       views: "dict[str, CompiledView] | None" = None
+                       ) -> list[Denial]:
+    """Compile an XPathLog denial into equivalent Datalog denials.
+
+    One denial is produced per disjunct of the body's disjunctive normal
+    form (footnote 3).  ``views`` supplies compiled view definitions
+    for predicate calls.  Raises
+    :class:`repro.errors.CompilationError` when the constraint uses a
+    construct the schema cannot express.
+    """
+    compiler = _Compiler(schema, views)
+    denials: list[Denial] = []
+    for conjunct in normalize_disjuncts(constraint.body):
+        variables: dict[str, Variable] = {}
+        literals = compiler.compile_conjunct(conjunct, variables)
+        folded, _ = fold_equalities(literals)
+        if not folded:
+            raise CompilationError(
+                f"disjunct of {constraint} compiled to an empty body — "
+                "the constraint would forbid every document")
+        denial = Denial(tuple(folded)).deduplicated()
+        denials.append(prune_implied_parent_atoms(denial, schema))
+    return denials

@@ -1,0 +1,119 @@
+"""Tokenizer for XPathLog constraints.
+
+Accepts both the paper's typographic operators (``←``, ``∧``, ``∨``,
+``→``, ``≠``, ``≤``, ``≥``) and plain-ASCII spellings (``<-``, ``/\\``
+or ``and``, ``\\/`` or ``or``, ``->``, ``!=``, ``<=``, ``>=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XPathLogError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str | int | float
+    line: int
+    column: int
+
+
+_SYMBOLS = [
+    # order matters: longest first
+    ("<-", "IMPLIED"),
+    ("←", "IMPLIED"),
+    ("//", "DSLASH"),
+    ("/\\", "AND"),
+    ("\\/", "OR"),
+    ("/", "SLASH"),
+    ("->", "ARROW"),
+    ("→", "ARROW"),
+    ("!=", "NE"),
+    ("≠", "NE"),
+    ("<=", "LE"),
+    ("≤", "LE"),
+    (">=", "GE"),
+    ("≥", "GE"),
+    ("∧", "AND"),
+    ("∨", "OR"),
+    ("¬", "NEG"),
+    ("..", "DOTDOT"),
+    ("=", "EQ"),
+    ("<", "LT"),
+    (">", "GT"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("{", "LBRACE"),
+    ("}", "RBRACE"),
+    (";", "SEMI"),
+    (",", "COMMA"),
+    ("@", "AT"),
+    ("_", "UNDERSCORE"),
+]
+
+_KEYWORDS = {"and": "AND", "or": "OR"}
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        column = pos - line_start + 1
+        if char in "'\"":
+            end = text.find(char, pos + 1)
+            if end == -1:
+                raise XPathLogError("unterminated string literal", line,
+                                    column)
+            tokens.append(Token("STRING", text[pos + 1: end], line, column))
+            pos = end + 1
+            continue
+        if char.isdigit():
+            start = pos
+            while pos < length and (text[pos].isdigit() or text[pos] == "."):
+                pos += 1
+            raw = text[start:pos]
+            value: int | float = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("NUMBER", value, line, column))
+            continue
+        if char.isalpha() or char == "_" and pos + 1 < length \
+                and (text[pos + 1].isalnum() or text[pos + 1] == "_"):
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] in "_-"):
+                pos += 1
+            word = text[start:pos]
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(Token(_KEYWORDS[lowered], word, line, column))
+            elif word[0].isupper():
+                tokens.append(Token("UPPER_NAME", word, line, column))
+            else:
+                tokens.append(Token("NAME", word, line, column))
+            continue
+        matched = False
+        for symbol, kind in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(kind, symbol, line, column))
+                pos += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise XPathLogError(f"unexpected character {char!r}", line,
+                                column)
+    tokens.append(Token("EOF", "", line, length - line_start + 1))
+    return tokens

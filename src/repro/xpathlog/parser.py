@@ -1,0 +1,346 @@
+"""Recursive-descent parser for XPathLog constraints.
+
+Grammar (tokens in capitals)::
+
+    constraint  := IMPLIED condition EOF
+    condition   := conjunct (OR conjunct)*
+    conjunct    := primary (AND primary)*
+    primary     := '(' condition ')'
+                 | aggregate OP bound
+                 | operand (OP operand)?          -- path condition or comparison
+    aggregate   := AGGNAME '{' [VAR] '[' VAR (',' VAR)* ']' ';' path '}'
+    operand     := STRING | NUMBER | VAR | path
+    path        := ('//' | '/')? step (('/' | '//') step)*
+    step        := '..' | '@' NAME
+                 | NAME ['(' ')'] qualifier* ['->' VAR] qualifier*
+    qualifier   := '[' condition ']'
+
+Inside a qualifier, a leading ``/`` denotes a path relative to the
+context node (the paper writes ``//rev[/name/text() → R]``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathLogError
+from repro.xpathlog.ast import (
+    AggregateComparison,
+    AndCondition,
+    ComparisonCondition,
+    Condition,
+    ConstantOperand,
+    Constraint,
+    NotCondition,
+    Operand,
+    PredicateCall,
+    Rule,
+    OrCondition,
+    PathCondition,
+    PathExpression,
+    PathOperand,
+    Step,
+    VariableOperand,
+)
+from repro.xpathlog.lexer import Token, tokenize
+
+_AGGREGATES = {
+    "Cnt": ("cnt", False),
+    "CntD": ("cnt", True),
+    "Cnt_D": ("cnt", True),
+    "Sum": ("sum", False),
+    "SumD": ("sum", True),
+    "Sum_D": ("sum", True),
+    "Max": ("max", False),
+    "Min": ("min", False),
+    "Avg": ("avg", False),
+}
+
+_COMPARISON_TOKENS = {
+    "EQ": "eq",
+    "NE": "ne",
+    "LT": "lt",
+    "LE": "le",
+    "GT": "gt",
+    "GE": "ge",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise self.error(f"expected {what or kind}, found {token.value!r}")
+        return self.advance()
+
+    def error(self, message: str) -> XPathLogError:
+        token = self.peek()
+        return XPathLogError(message, token.line, token.column)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_constraint(self) -> Condition:
+        self.expect("IMPLIED", "'←' at the start of a denial")
+        condition = self.parse_condition(in_qualifier=False)
+        self.expect("EOF", "end of constraint")
+        return condition
+
+    def parse_condition(self, in_qualifier: bool) -> Condition:
+        items = [self.parse_conjunct(in_qualifier)]
+        while self.accept("OR"):
+            items.append(self.parse_conjunct(in_qualifier))
+        if len(items) == 1:
+            return items[0]
+        return OrCondition(tuple(items))
+
+    def parse_conjunct(self, in_qualifier: bool) -> Condition:
+        items = [self.parse_primary(in_qualifier)]
+        while self.accept("AND"):
+            items.append(self.parse_primary(in_qualifier))
+        if len(items) == 1:
+            return items[0]
+        return AndCondition(tuple(items))
+
+    def parse_primary(self, in_qualifier: bool) -> Condition:
+        token = self.peek()
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_condition(in_qualifier)
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "UPPER_NAME" and str(token.value) in _AGGREGATES \
+                and self.peek(1).kind == "LBRACE":
+            return self.parse_aggregate(in_qualifier)
+        if token.kind == "NAME" and token.value == "not" \
+                and self.peek(1).kind == "LPAREN":
+            self.advance()
+            self.advance()
+            inner = self.parse_condition(in_qualifier)
+            self.expect("RPAREN")
+            return NotCondition(inner)
+        if token.kind == "NAME" and self.peek(1).kind == "LPAREN" \
+                and self.peek(2).kind in ("UPPER_NAME", "STRING",
+                                          "NUMBER", "RPAREN") \
+                and self.peek(3).kind in ("COMMA", "RPAREN"):
+            return self.parse_predicate_call()
+        if token.kind == "NEG":
+            self.advance()
+            self.expect("LPAREN", "'(' after ¬")
+            inner = self.parse_condition(in_qualifier)
+            self.expect("RPAREN")
+            return NotCondition(inner)
+        left = self.parse_operand(in_qualifier)
+        op_token = self.peek()
+        if op_token.kind in _COMPARISON_TOKENS:
+            self.advance()
+            right = self.parse_operand(in_qualifier)
+            return ComparisonCondition(
+                _COMPARISON_TOKENS[op_token.kind], left, right)
+        if isinstance(left, PathOperand):
+            return PathCondition(left.path)
+        raise self.error(
+            "a bare operand must be a path expression; variables and "
+            "constants need a comparison")
+
+    def parse_predicate_call(self) -> Condition:
+        name = str(self.expect("NAME").value)
+        self.expect("LPAREN")
+        args: list[Operand] = []
+        if self.peek().kind != "RPAREN":
+            args.append(self.parse_call_argument())
+            while self.accept("COMMA"):
+                args.append(self.parse_call_argument())
+        self.expect("RPAREN")
+        return PredicateCall(name, tuple(args))
+
+    def parse_call_argument(self) -> Operand:
+        token = self.peek()
+        if token.kind == "UPPER_NAME":
+            self.advance()
+            return VariableOperand(str(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            return ConstantOperand(str(token.value))
+        if token.kind == "NUMBER":
+            self.advance()
+            return ConstantOperand(token.value)
+        raise self.error(
+            "view-call arguments must be variables or literals")
+
+    def parse_rule_text(self) -> Rule:
+        name = str(self.expect("NAME", "view name").value)
+        self.expect("LPAREN")
+        params: list[str] = []
+        if self.peek().kind != "RPAREN":
+            params.append(str(self.expect("UPPER_NAME").value))
+            while self.accept("COMMA"):
+                params.append(str(self.expect("UPPER_NAME").value))
+        self.expect("RPAREN")
+        self.expect("IMPLIED", "'←' between head and body")
+        body = self.parse_condition(in_qualifier=False)
+        self.expect("EOF", "end of rule")
+        if len(set(params)) != len(params):
+            raise self.error("head parameters must be distinct variables")
+        return Rule(name, tuple(params), body)
+
+    def parse_aggregate(self, in_qualifier: bool) -> Condition:
+        name_token = self.expect("UPPER_NAME")
+        func, distinct = _AGGREGATES[str(name_token.value)]
+        self.expect("LBRACE")
+        term: str | None = None
+        if self.peek().kind == "UPPER_NAME":
+            term = str(self.advance().value)
+        self.expect("LBRACKET", "'[' before the group-by variables")
+        group: list[str] = []
+        if self.peek().kind != "RBRACKET":
+            group.append(str(self.expect("UPPER_NAME").value))
+            while self.accept("COMMA"):
+                group.append(str(self.expect("UPPER_NAME").value))
+        self.expect("RBRACKET")
+        self.expect("SEMI", "';' before the aggregate path")
+        path = self.parse_path(in_qualifier)
+        self.expect("RBRACE")
+        op_token = self.peek()
+        if op_token.kind not in _COMPARISON_TOKENS:
+            raise self.error("an aggregate must be compared with a bound")
+        self.advance()
+        bound_token = self.peek()
+        if bound_token.kind == "NUMBER":
+            self.advance()
+            bound: int | float | str = bound_token.value
+        elif bound_token.kind == "STRING":
+            self.advance()
+            bound = bound_token.value
+        else:
+            raise self.error("aggregate bound must be a number or string")
+        if func == "cnt" and term is not None and term in group:
+            raise self.error(
+                "the aggregated variable cannot be a group-by variable")
+        return AggregateComparison(func, distinct, term, tuple(group), path,
+                                   _COMPARISON_TOKENS[op_token.kind],
+                                   bound)  # type: ignore[arg-type]
+
+    def parse_operand(self, in_qualifier: bool) -> Operand:
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            return ConstantOperand(str(token.value))
+        if token.kind == "NUMBER":
+            self.advance()
+            return ConstantOperand(token.value)
+        if token.kind == "UPPER_NAME" and self.peek(1).kind not in (
+                "SLASH", "DSLASH"):
+            self.advance()
+            return VariableOperand(str(token.value))
+        return PathOperand(self.parse_path(in_qualifier))
+
+    def parse_path(self, in_qualifier: bool) -> PathExpression:
+        token = self.peek()
+        absolute = False
+        first_descendant = False
+        if token.kind == "DSLASH":
+            self.advance()
+            absolute = not in_qualifier
+            first_descendant = True
+        elif token.kind == "SLASH":
+            self.advance()
+            # inside a qualifier a leading '/' is relative to the
+            # context node (paper notation //rev[/name/text() → R])
+            absolute = not in_qualifier
+        steps = [self.parse_step()]
+        flags = [first_descendant]
+        while self.peek().kind in ("SLASH", "DSLASH"):
+            flags.append(self.advance().kind == "DSLASH")
+            steps.append(self.parse_step())
+        return PathExpression(tuple(steps), absolute, tuple(flags))
+
+    def parse_step(self) -> Step:
+        token = self.peek()
+        if token.kind == "DOTDOT":
+            self.advance()
+            return Step("parent")
+        if token.kind == "AT":
+            self.advance()
+            name = self.expect("NAME", "attribute name")
+            return self.finish_step("attribute", str(name.value))
+        if token.kind in ("NAME", "UPPER_NAME"):
+            self.advance()
+            name = str(token.value)
+            if self.peek().kind == "LPAREN":
+                if name not in ("text", "position"):
+                    raise self.error(
+                        f"unknown node function {name}(); only text() and "
+                        "position() are supported")
+                self.advance()
+                self.expect("RPAREN")
+                return self.finish_step(name, None)
+            return self.finish_step("child", name)
+        raise self.error(f"expected a path step, found {token.value!r}")
+
+    def finish_step(self, axis: str, nodetest: str | None) -> Step:
+        qualifiers: list[Condition] = []
+        binding: str | None = None
+        while True:
+            token = self.peek()
+            if token.kind == "LBRACKET":
+                self.advance()
+                if self.peek().kind == "NUMBER" \
+                        and self.peek(1).kind == "RBRACKET":
+                    # positional qualifier [n] — shorthand for
+                    # [position() = n]
+                    number = self.advance()
+                    position_path = PathExpression(
+                        (Step("position"),), False, (False,))
+                    qualifiers.append(ComparisonCondition(
+                        "eq", PathOperand(position_path),
+                        ConstantOperand(number.value)))
+                else:
+                    qualifiers.append(self.parse_condition(in_qualifier=True))
+                self.expect("RBRACKET")
+            elif token.kind == "ARROW" and binding is None:
+                self.advance()
+                binding = str(self.expect(
+                    "UPPER_NAME", "a variable after '→'").value)
+            else:
+                return Step(axis, nodetest, tuple(qualifiers), binding)
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse the text of an XPathLog denial (``← body``)."""
+    parser = _Parser(tokenize(text))
+    body = parser.parse_constraint()
+    return Constraint(body, source=text)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a view definition ``name(V1, ..., Vn) <- body``."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule_text()
+    return Rule(rule.head_name, rule.head_params, rule.body, source=text)
+
+
+def parse_path(text: str) -> PathExpression:
+    """Parse a standalone path expression (used in tests and tools)."""
+    parser = _Parser(tokenize(text))
+    path = parser.parse_path(in_qualifier=False)
+    parser.expect("EOF", "end of path")
+    return path

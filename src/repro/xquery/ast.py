@@ -1,0 +1,210 @@
+"""Abstract syntax of the supported XQuery fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: str | int | float
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return '"' + self.value.replace('"', '""') + '"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class ContextItem:
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class SequenceExpr:
+    items: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class AxisStep:
+    """One path step.  ``axis`` ∈ child, descendant, descendant-or-self,
+    attribute, parent, self.  ``nodetest`` is a name, ``"*"``,
+    ``"text()"``, ``"node()"``, or the engine extension ``"position()"``
+    (the node's sibling position, matching the ``Pos`` column)."""
+
+    axis: str
+    nodetest: str
+    predicates: tuple["Expression", ...] = ()
+
+    def __str__(self) -> str:
+        if self.axis == "parent":
+            base = ".."
+        elif self.axis == "attribute":
+            base = f"@{self.nodetest}"
+        elif self.axis == "self":
+            base = "."
+        else:
+            base = self.nodetest
+        return base + "".join(f"[{pred}]" for pred in self.predicates)
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """``start`` is ``None`` for absolute paths (anchored at the
+    document roots of the evaluation collection); otherwise the
+    expression producing the starting sequence.  ``descendant_flags[i]``
+    is True when step *i* follows ``//``."""
+
+    start: "Expression | None"
+    steps: tuple[AxisStep, ...]
+    descendant_flags: tuple[bool, ...]
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.start is not None:
+            parts.append(str(self.start))
+        for index, (step, descendant) in enumerate(
+                zip(self.steps, self.descendant_flags)):
+            if self.start is None and index == 0:
+                parts.append("//" if descendant else "/")
+            else:
+                parts.append("//" if descendant else "/")
+            parts.append(str(step))
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """``op`` ∈ or, and, =, !=, <, <=, >, >=, eq, ne, lt, le, gt, ge,
+    +, -, *, div, idiv, mod, to, |"""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-" or "+"
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ForClause:
+    variable: str
+    source: "Expression"
+
+
+@dataclass(frozen=True)
+class LetClause:
+    variable: str
+    source: "Expression"
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    condition: "Expression"
+
+
+FLWORClause = Union[ForClause, LetClause, WhereClause]
+
+
+@dataclass(frozen=True)
+class FLWOR:
+    clauses: tuple[FLWORClause, ...]
+    result: "Expression"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for clause in self.clauses:
+            if isinstance(clause, ForClause):
+                parts.append(f"for ${clause.variable} in {clause.source}")
+            elif isinstance(clause, LetClause):
+                parts.append(f"let ${clause.variable} := {clause.source}")
+            else:
+                parts.append(f"where {clause.condition}")
+        parts.append(f"return {self.result}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Quantified:
+    kind: str  # "some" | "every"
+    bindings: tuple[tuple[str, "Expression"], ...]
+    condition: "Expression"
+
+    def __str__(self) -> str:
+        bindings = ", ".join(
+            f"${name} in {source}" for name, source in self.bindings)
+        return f"{self.kind} {bindings} satisfies {self.condition}"
+
+
+@dataclass(frozen=True)
+class IfExpr:
+    condition: "Expression"
+    then_branch: "Expression"
+    else_branch: "Expression"
+
+    def __str__(self) -> str:
+        return (f"if ({self.condition}) then {self.then_branch} "
+                f"else {self.else_branch}")
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    tag: str
+    attributes: tuple[tuple[str, "Expression"], ...] = ()
+    children: tuple["Expression", ...] = ()
+
+    def __str__(self) -> str:
+        attrs = "".join(f' {name}="{value}"'
+                        for name, value in self.attributes)
+        if not self.children:
+            return f"<{self.tag}{attrs}/>"
+        inner = "".join(str(child) for child in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class TextLiteral:
+    """Literal text content inside an element constructor."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+Expression = Union[
+    Literal, VarRef, ContextItem, SequenceExpr, PathExpr, BinaryOp, UnaryOp,
+    FunctionCall, FLWOR, Quantified, IfExpr, ElementConstructor, TextLiteral,
+]

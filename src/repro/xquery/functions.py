@@ -1,0 +1,259 @@
+"""Built-in function library of the XQuery engine.
+
+Each function takes already-evaluated argument sequences.  Functions
+that depend on the dynamic context (``position()``, ``last()``, context
+``string()``...) are handled by the engine itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import XQueryEvaluationError
+from repro.xquery.values import (
+    UntypedAtomic,
+    atomize,
+    effective_boolean_value,
+    is_node,
+    string_value,
+    to_number,
+)
+from repro.xtree.node import Document, Element, Node, Text
+
+Sequence = list
+FunctionImpl = Callable[..., Sequence]
+
+
+def _singleton_string(args: Sequence, what: str) -> str:
+    if not args:
+        return ""
+    if len(args) > 1:
+        raise XQueryEvaluationError(f"{what} expects a singleton")
+    return string_value(args[0])
+
+
+def fn_count(argument: Sequence) -> Sequence:
+    return [len(argument)]
+
+
+def fn_exists(argument: Sequence) -> Sequence:
+    return [bool(argument)]
+
+
+def fn_empty(argument: Sequence) -> Sequence:
+    return [not argument]
+
+
+def fn_not(argument: Sequence) -> Sequence:
+    return [not effective_boolean_value(argument)]
+
+
+def fn_boolean(argument: Sequence) -> Sequence:
+    return [effective_boolean_value(argument)]
+
+
+def fn_true() -> Sequence:
+    return [True]
+
+
+def fn_false() -> Sequence:
+    return [False]
+
+
+def fn_string(argument: Sequence) -> Sequence:
+    return [_singleton_string(argument, "string()")]
+
+
+def fn_number(argument: Sequence) -> Sequence:
+    if not argument:
+        return [float("nan")]
+    if len(argument) > 1:
+        raise XQueryEvaluationError("number() expects a singleton")
+    return [to_number(argument[0])]
+
+
+def fn_concat(*arguments: Sequence) -> Sequence:
+    return ["".join(_singleton_string(arg, "concat()") for arg in arguments)]
+
+
+def fn_contains(haystack: Sequence, needle: Sequence) -> Sequence:
+    return [_singleton_string(needle, "contains()")
+            in _singleton_string(haystack, "contains()")]
+
+
+def fn_starts_with(haystack: Sequence, prefix: Sequence) -> Sequence:
+    return [_singleton_string(haystack, "starts-with()").startswith(
+        _singleton_string(prefix, "starts-with()"))]
+
+
+def fn_string_length(argument: Sequence) -> Sequence:
+    return [len(_singleton_string(argument, "string-length()"))]
+
+
+def fn_substring(source: Sequence, start: Sequence,
+                 length: Sequence | None = None) -> Sequence:
+    text = _singleton_string(source, "substring()")
+    begin = round(to_number(start[0])) if start else 1
+    if length is not None:
+        count = round(to_number(length[0])) if length else 0
+        return [text[max(begin - 1, 0): max(begin - 1 + count, 0)]]
+    return [text[max(begin - 1, 0):]]
+
+
+def fn_upper_case(argument: Sequence) -> Sequence:
+    return [_singleton_string(argument, "upper-case()").upper()]
+
+
+def fn_lower_case(argument: Sequence) -> Sequence:
+    return [_singleton_string(argument, "lower-case()").lower()]
+
+
+def fn_normalize_space(argument: Sequence) -> Sequence:
+    return [" ".join(_singleton_string(argument,
+                                       "normalize-space()").split())]
+
+
+def fn_string_join(argument: Sequence, separator: Sequence) -> Sequence:
+    sep = _singleton_string(separator, "string-join()")
+    return [sep.join(string_value(item) for item in argument)]
+
+
+def fn_distinct_values(argument: Sequence) -> Sequence:
+    result: Sequence = []
+    seen: set[object] = set()
+    for item in atomize(argument):
+        key: object = item
+        if isinstance(item, UntypedAtomic):
+            key = str(item)
+        if isinstance(item, float) and item.is_integer():
+            key = int(item)
+        if key not in seen:
+            seen.add(key)
+            result.append(item)
+    return result
+
+
+def _numbers(argument: Sequence, what: str) -> list[float]:
+    numbers: list[float] = []
+    for item in atomize(argument):
+        value = to_number(item)
+        if math.isnan(value):
+            raise XQueryEvaluationError(f"{what} over a non-numeric value")
+        numbers.append(value)
+    return numbers
+
+
+def _maybe_int(value: float) -> int | float:
+    return int(value) if float(value).is_integer() else value
+
+
+def fn_sum(argument: Sequence) -> Sequence:
+    return [_maybe_int(sum(_numbers(argument, "sum()")))]
+
+
+def fn_avg(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "avg()")
+    if not numbers:
+        return []
+    return [sum(numbers) / len(numbers)]
+
+
+def fn_min(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "min()")
+    return [_maybe_int(min(numbers))] if numbers else []
+
+
+def fn_max(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "max()")
+    return [_maybe_int(max(numbers))] if numbers else []
+
+
+def fn_floor(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "floor()")
+    return [int(math.floor(numbers[0]))] if numbers else []
+
+
+def fn_ceiling(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "ceiling()")
+    return [int(math.ceil(numbers[0]))] if numbers else []
+
+
+def fn_round(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "round()")
+    return [int(math.floor(numbers[0] + 0.5))] if numbers else []
+
+
+def fn_abs(argument: Sequence) -> Sequence:
+    numbers = _numbers(argument, "abs()")
+    return [_maybe_int(abs(numbers[0]))] if numbers else []
+
+
+def fn_name(argument: Sequence) -> Sequence:
+    if not argument:
+        return [""]
+    item = argument[0]
+    if isinstance(item, Element):
+        return [item.tag]
+    return [""]
+
+
+def fn_root(argument: Sequence) -> Sequence:
+    if not argument:
+        return []
+    item = argument[0]
+    if isinstance(item, (Element, Text)):
+        return [item.root()]
+    if isinstance(item, Document):
+        return [item.root]
+    raise XQueryEvaluationError("root() expects a node")
+
+
+def fn_data(argument: Sequence) -> Sequence:
+    return atomize(argument)
+
+
+def fn_text(argument: Sequence) -> Sequence:
+    """Non-standard convenience: text node children of the argument."""
+    result: Sequence = []
+    for item in argument:
+        if isinstance(item, Element):
+            result.extend(child for child in item.children
+                          if isinstance(child, Text))
+    return result
+
+
+REGISTRY: dict[str, tuple[FunctionImpl, int, int]] = {
+    # name -> (implementation, min arity, max arity)
+    "count": (fn_count, 1, 1),
+    "exists": (fn_exists, 1, 1),
+    "empty": (fn_empty, 1, 1),
+    "not": (fn_not, 1, 1),
+    "boolean": (fn_boolean, 1, 1),
+    "true": (fn_true, 0, 0),
+    "false": (fn_false, 0, 0),
+    "string": (fn_string, 1, 1),
+    "number": (fn_number, 1, 1),
+    "concat": (fn_concat, 2, 99),
+    "contains": (fn_contains, 2, 2),
+    "starts-with": (fn_starts_with, 2, 2),
+    "string-length": (fn_string_length, 1, 1),
+    "substring": (fn_substring, 2, 3),
+    "upper-case": (fn_upper_case, 1, 1),
+    "lower-case": (fn_lower_case, 1, 1),
+    "normalize-space": (fn_normalize_space, 1, 1),
+    "string-join": (fn_string_join, 2, 2),
+    "distinct-values": (fn_distinct_values, 1, 1),
+    "sum": (fn_sum, 1, 1),
+    "avg": (fn_avg, 1, 1),
+    "min": (fn_min, 1, 1),
+    "max": (fn_max, 1, 1),
+    "floor": (fn_floor, 1, 1),
+    "ceiling": (fn_ceiling, 1, 1),
+    "round": (fn_round, 1, 1),
+    "abs": (fn_abs, 1, 1),
+    "name": (fn_name, 1, 1),
+    "root": (fn_root, 1, 1),
+    "data": (fn_data, 1, 1),
+    "text": (fn_text, 1, 1),
+}

@@ -1,0 +1,155 @@
+"""Tokenizer for the XQuery fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XQueryError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str | int | float
+    line: int
+    column: int
+
+
+_SYMBOLS = [
+    (":=", "ASSIGN"),
+    ("!=", "NE"),
+    ("<=", "LE"),
+    (">=", "GE"),
+    ("//", "DSLASH"),
+    ("..", "DOTDOT"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    ("{", "LBRACE"),
+    ("}", "RBRACE"),
+    (",", "COMMA"),
+    ("$", "DOLLAR"),
+    ("/", "SLASH"),
+    ("@", "AT"),
+    ("=", "EQ"),
+    ("<", "LT"),
+    (">", "GT"),
+    ("+", "PLUS"),
+    ("-", "MINUS"),
+    ("*", "STAR"),
+    (".", "DOT"),
+    ("|", "PIPE"),
+]
+
+KEYWORDS = {
+    "for", "let", "where", "return", "in", "some", "every", "satisfies",
+    "and", "or", "div", "idiv", "mod", "to", "if", "then", "else",
+    "eq", "ne", "lt", "le", "gt", "ge",
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize XQuery text.
+
+    ``<`` starts an element constructor only when followed by a name
+    character; the parser decides by context — the lexer emits both a
+    ``LT`` token and leaves tag scanning to the parser via the raw
+    positions stored in each token (tokens are produced over the whole
+    text, and constructors are re-scanned from the source by position).
+    To keep things simple the lexer recognizes the constructor forms
+    used by the translation (``<name .../>`` and
+    ``<name>text</name>``) directly as CONSTRUCTOR tokens.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        column = pos - line_start + 1
+        if text.startswith("(:", pos):  # XQuery comment
+            end = text.find(":)", pos + 2)
+            if end == -1:
+                raise XQueryError("unterminated comment", line, column)
+            pos = end + 2
+            continue
+        if char in "'\"":
+            end = text.find(char, pos + 1)
+            if end == -1:
+                raise XQueryError("unterminated string literal", line, column)
+            tokens.append(Token("STRING", text[pos + 1: end], line, column))
+            pos = end + 1
+            continue
+        if char.isdigit():
+            start = pos
+            while pos < length and (text[pos].isdigit() or text[pos] == "."):
+                pos += 1
+            raw = text[start:pos]
+            value: int | float = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("NUMBER", value, line, column))
+            continue
+        if char == "<" and pos + 1 < length and (
+                text[pos + 1].isalpha() or text[pos + 1] == "_"):
+            pos = _scan_constructor(text, pos, line, column, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum()
+                                    or text[pos] in "_-"):
+                pos += 1
+            word = text[start:pos]
+            if word in KEYWORDS:
+                tokens.append(Token(word.upper(), word, line, column))
+            else:
+                tokens.append(Token("NAME", word, line, column))
+            continue
+        matched = False
+        for symbol, kind in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(kind, symbol, line, column))
+                pos += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise XQueryError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token("EOF", "", line, length - line_start + 1))
+    return tokens
+
+
+def _scan_constructor(text: str, pos: int, line: int, column: int,
+                      tokens: list[Token]) -> int:
+    """Scan ``<tag .../>`` or ``<tag>text</tag>`` as one token.
+
+    The translation only emits the empty ``<idle/>`` element; simple
+    text-content constructors are supported for completeness.  The
+    token value is the raw constructor text.
+    """
+    end_open = text.find(">", pos)
+    if end_open == -1:
+        raise XQueryError("unterminated element constructor", line, column)
+    if text[end_open - 1] == "/":
+        tokens.append(Token("CONSTRUCTOR", text[pos: end_open + 1], line,
+                            column))
+        return end_open + 1
+    close = text.find("</", end_open)
+    if close == -1:
+        raise XQueryError("unterminated element constructor", line, column)
+    if "<" in text[end_open + 1: close]:
+        raise XQueryError(
+            "nested element constructors are not supported", line, column)
+    end_close = text.find(">", close)
+    if end_close == -1:
+        raise XQueryError("unterminated element constructor", line, column)
+    tokens.append(Token("CONSTRUCTOR", text[pos: end_close + 1], line,
+                        column))
+    return end_close + 1

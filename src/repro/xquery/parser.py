@@ -1,0 +1,362 @@
+"""Recursive-descent parser for the XQuery fragment."""
+
+from __future__ import annotations
+
+from repro.errors import XQueryError
+from repro.xquery.ast import (
+    AxisStep,
+    BinaryOp,
+    ContextItem,
+    ElementConstructor,
+    Expression,
+    FLWOR,
+    FLWORClause,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    PathExpr,
+    Quantified,
+    SequenceExpr,
+    TextLiteral,
+    UnaryOp,
+    VarRef,
+    WhereClause,
+)
+from repro.xquery.lexer import Token, tokenize
+
+_COMPARISON_TOKENS = {
+    "EQ": "=", "NE": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">=",
+}
+_NODETEST_FUNCTIONS = {"text", "node", "position"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise self.error(f"expected {what or kind}, found {token.value!r}")
+        return self.advance()
+
+    def error(self, message: str) -> XQueryError:
+        token = self.peek()
+        return XQueryError(message, token.line, token.column)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        """Comma-separated sequence expression."""
+        items = [self.parse_expr_single()]
+        while self.accept("COMMA"):
+            items.append(self.parse_expr_single())
+        if len(items) == 1:
+            return items[0]
+        return SequenceExpr(tuple(items))
+
+    def parse_expr_single(self) -> Expression:
+        token = self.peek()
+        if token.kind in ("FOR", "LET"):
+            return self.parse_flwor()
+        if token.kind in ("SOME", "EVERY"):
+            return self.parse_quantified()
+        if token.kind == "IF":
+            return self.parse_if()
+        return self.parse_or()
+
+    def parse_flwor(self) -> Expression:
+        clauses: list[FLWORClause] = []
+        while True:
+            token = self.peek()
+            if token.kind == "FOR":
+                self.advance()
+                while True:
+                    self.expect("DOLLAR")
+                    name = str(self.expect("NAME").value)
+                    self.expect("IN")
+                    clauses.append(ForClause(name, self.parse_expr_single()))
+                    if not self.accept("COMMA"):
+                        break
+            elif token.kind == "LET":
+                self.advance()
+                while True:
+                    self.expect("DOLLAR")
+                    name = str(self.expect("NAME").value)
+                    self.expect("ASSIGN", "':='")
+                    clauses.append(LetClause(name, self.parse_expr_single()))
+                    if not self.accept("COMMA"):
+                        break
+            elif token.kind == "WHERE":
+                self.advance()
+                clauses.append(WhereClause(self.parse_expr_single()))
+            elif token.kind == "RETURN":
+                self.advance()
+                return FLWOR(tuple(clauses), self.parse_expr_single())
+            else:
+                raise self.error(
+                    "expected 'for', 'let', 'where' or 'return'")
+
+    def parse_quantified(self) -> Expression:
+        kind = str(self.advance().value)
+        bindings: list[tuple[str, Expression]] = []
+        while True:
+            self.expect("DOLLAR")
+            name = str(self.expect("NAME").value)
+            self.expect("IN")
+            bindings.append((name, self.parse_expr_single()))
+            if not self.accept("COMMA"):
+                break
+        self.expect("SATISFIES")
+        return Quantified(kind, tuple(bindings), self.parse_expr_single())
+
+    def parse_if(self) -> Expression:
+        self.expect("IF")
+        self.expect("LPAREN")
+        condition = self.parse_expr()
+        self.expect("RPAREN")
+        self.expect("THEN")
+        then_branch = self.parse_expr_single()
+        self.expect("ELSE")
+        else_branch = self.parse_expr_single()
+        return IfExpr(condition, then_branch, else_branch)
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept("OR"):
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_comparison()
+        while self.accept("AND"):
+            left = BinaryOp("and", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_range()
+        token = self.peek()
+        if token.kind in _COMPARISON_TOKENS:
+            # value-comparison keywords (eq, ne, ...) share token kinds
+            # with the general operators and behave identically on the
+            # singleton operands this fragment produces
+            self.advance()
+            return BinaryOp(_COMPARISON_TOKENS[token.kind], left,
+                            self.parse_range())
+        return left
+
+    def parse_range(self) -> Expression:
+        left = self.parse_additive()
+        if self.accept("TO"):
+            return BinaryOp("to", left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            if self.accept("PLUS"):
+                left = BinaryOp("+", left, self.parse_multiplicative())
+            elif self.accept("MINUS"):
+                left = BinaryOp("-", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_union()
+        while True:
+            token = self.peek()
+            if token.kind == "STAR":
+                self.advance()
+                left = BinaryOp("*", left, self.parse_union())
+            elif token.kind in ("DIV", "IDIV", "MOD"):
+                self.advance()
+                left = BinaryOp(str(token.value), left, self.parse_union())
+            else:
+                return left
+
+    def parse_union(self) -> Expression:
+        left = self.parse_unary()
+        while self.accept("PIPE"):
+            left = BinaryOp("|", left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.accept("MINUS"):
+            return UnaryOp("-", self.parse_unary())
+        if self.accept("PLUS"):
+            return UnaryOp("+", self.parse_unary())
+        return self.parse_path()
+
+    # -- paths ------------------------------------------------------------------
+
+    def parse_path(self) -> Expression:
+        token = self.peek()
+        if token.kind in ("SLASH", "DSLASH"):
+            descendant = token.kind == "DSLASH"
+            self.advance()
+            steps = [self.parse_step()]
+            flags = [descendant]
+            self.parse_more_steps(steps, flags)
+            return PathExpr(None, tuple(steps), tuple(flags))
+        first = self.parse_postfix()
+        if self.peek().kind in ("SLASH", "DSLASH"):
+            steps: list[AxisStep] = []
+            flags: list[bool] = []
+            self.parse_more_steps(steps, flags)
+            return PathExpr(first, tuple(steps), tuple(flags))
+        return first
+
+    def parse_more_steps(self, steps: list[AxisStep],
+                         flags: list[bool]) -> None:
+        while self.peek().kind in ("SLASH", "DSLASH"):
+            flags.append(self.advance().kind == "DSLASH")
+            steps.append(self.parse_step())
+
+    def parse_step(self) -> AxisStep:
+        token = self.peek()
+        if token.kind == "DOTDOT":
+            self.advance()
+            return AxisStep("parent", "node()",
+                            self.parse_predicates())
+        if token.kind == "DOT":
+            self.advance()
+            return AxisStep("self", "node()", self.parse_predicates())
+        if token.kind == "AT":
+            self.advance()
+            if self.accept("STAR"):
+                return AxisStep("attribute", "*", self.parse_predicates())
+            name = str(self.expect("NAME", "attribute name").value)
+            return AxisStep("attribute", name, self.parse_predicates())
+        if token.kind == "STAR":
+            self.advance()
+            return AxisStep("child", "*", self.parse_predicates())
+        if token.kind == "NAME":
+            name = str(self.advance().value)
+            if self.peek().kind == "LPAREN":
+                if name not in _NODETEST_FUNCTIONS:
+                    raise self.error(
+                        f"{name}() is not a node test; function calls "
+                        "cannot appear mid-path")
+                self.advance()
+                self.expect("RPAREN")
+                return AxisStep("child", f"{name}()",
+                                self.parse_predicates())
+            return AxisStep("child", name, self.parse_predicates())
+        raise self.error(f"expected a path step, found {token.value!r}")
+
+    def parse_predicates(self) -> tuple[Expression, ...]:
+        predicates: list[Expression] = []
+        while self.accept("LBRACKET"):
+            predicates.append(self.parse_expr())
+            self.expect("RBRACKET")
+        return tuple(predicates)
+
+    # -- primaries ----------------------------------------------------------------
+
+    def parse_postfix(self) -> Expression:
+        primary = self.parse_primary()
+        predicates = self.parse_predicates()
+        if predicates:
+            # a predicate on a primary is modeled as a self step
+            return PathExpr(primary,
+                            (AxisStep("self", "node()", predicates),),
+                            (False,))
+        return primary
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(str(token.value))
+        if token.kind == "NUMBER":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "DOLLAR":
+            self.advance()
+            name = str(self.expect("NAME", "variable name").value)
+            return VarRef(name)
+        if token.kind == "DOT":
+            self.advance()
+            return ContextItem()
+        if token.kind == "LPAREN":
+            self.advance()
+            if self.accept("RPAREN"):
+                return SequenceExpr(())
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "CONSTRUCTOR":
+            self.advance()
+            return _parse_constructor(str(token.value), token)
+        if token.kind == "NAME" and self.peek(1).kind == "LPAREN":
+            name = str(self.advance().value)
+            self.advance()  # LPAREN
+            args: list[Expression] = []
+            if self.peek().kind != "RPAREN":
+                args.append(self.parse_expr_single())
+                while self.accept("COMMA"):
+                    args.append(self.parse_expr_single())
+            self.expect("RPAREN")
+            return FunctionCall(name, tuple(args))
+        if token.kind in ("NAME", "AT", "DOTDOT", "STAR"):
+            # a relative path starting with a step
+            steps = [self.parse_step()]
+            flags = [False]
+            self.parse_more_steps(steps, flags)
+            return PathExpr(ContextItem(), tuple(steps), tuple(flags))
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def _parse_constructor(raw: str, token: Token) -> ElementConstructor:
+    """Parse a CONSTRUCTOR token (``<tag .../>`` / ``<tag>text</tag>``)."""
+    from repro.errors import XMLParseError
+    from repro.xtree.parser import parse_fragment
+    from repro.xtree.node import Element, Text
+
+    try:
+        nodes = parse_fragment(raw, keep_whitespace=True)
+    except XMLParseError as error:
+        raise XQueryError(f"malformed element constructor: {error.message}",
+                          token.line, token.column) from error
+    if len(nodes) != 1 or not isinstance(nodes[0], Element):
+        raise XQueryError("expected a single element constructor",
+                          token.line, token.column)
+    element = nodes[0]
+    children: list[Expression] = []
+    for child in element.children:
+        if isinstance(child, Text):
+            children.append(TextLiteral(child.value))
+        else:
+            raise XQueryError(
+                "nested element constructors are not supported",
+                token.line, token.column)
+    attributes = tuple(
+        (name, Literal(value))
+        for name, value in element.attributes.items())
+    return ElementConstructor(element.tag, attributes, tuple(children))
+
+
+def parse_query(text: str) -> Expression:
+    """Parse an XQuery expression of the supported fragment."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_expr()
+    parser.expect("EOF", "end of query")
+    return expression

@@ -1,0 +1,148 @@
+"""The value model of the engine: sequences of items.
+
+A sequence is a Python ``list``; items are DOM nodes
+(:class:`repro.xtree.node.Element` / ``Text``), strings, numbers and
+booleans.  Strings obtained by atomizing nodes are *untyped atomics*
+(:class:`UntypedAtomic`, a ``str`` subclass): general comparisons cast
+them to the type of the other operand, so ``@pos = 2`` works even
+though attribute values are stored as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XQueryEvaluationError
+from repro.xtree.node import Document, Element, Node, Text
+
+Sequence = list
+"""Type alias for readability: an XDM sequence."""
+
+
+class UntypedAtomic(str):
+    """A string whose type is not yet decided (node content)."""
+
+    __slots__ = ()
+
+
+def is_node(item: object) -> bool:
+    return isinstance(item, (Node, Document))
+
+
+def string_value(item: object) -> str:
+    """The string value of any item."""
+    if isinstance(item, Element):
+        return item.string_value()
+    if isinstance(item, Text):
+        return item.value
+    if isinstance(item, Document):
+        return item.root.string_value()
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    if isinstance(item, float) and item.is_integer():
+        return str(int(item))
+    return str(item)
+
+
+def atomize(sequence: Iterable[object]) -> list[object]:
+    """Replace nodes by their (untyped) string values."""
+    result: list[object] = []
+    for item in sequence:
+        if is_node(item):
+            result.append(UntypedAtomic(string_value(item)))
+        else:
+            result.append(item)
+    return result
+
+
+def effective_boolean_value(sequence: list[object]) -> bool:
+    """The XQuery effective boolean value of a sequence."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if is_node(first):
+        return True
+    if len(sequence) > 1:
+        raise XQueryEvaluationError(
+            "effective boolean value of a multi-item atomic sequence")
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return first != 0 and first == first  # NaN is false
+    if isinstance(first, str):
+        return len(first) > 0
+    raise XQueryEvaluationError(
+        f"no effective boolean value for {type(first).__name__}")
+
+
+def to_number(item: object) -> float:
+    """Numeric value of an atomic item (NaN on failure)."""
+    if isinstance(item, bool):
+        return 1.0 if item else 0.0
+    if isinstance(item, (int, float)):
+        return float(item)
+    if isinstance(item, str):
+        try:
+            return float(item.strip())
+        except ValueError:
+            return float("nan")
+    if is_node(item):
+        return to_number(string_value(item))
+    return float("nan")
+
+
+def compare_atomics(op: str, left: object, right: object) -> bool:
+    """Compare two atomized items with untyped-atomic coercion.
+
+    * untyped vs. number → numeric comparison;
+    * untyped vs. string (or two untypeds) → string comparison;
+    * number vs. number, string vs. string, bool vs. bool → direct.
+    """
+    if isinstance(left, UntypedAtomic) and isinstance(right, (int, float)) \
+            and not isinstance(right, bool):
+        left = to_number(left)
+    elif isinstance(right, UntypedAtomic) \
+            and isinstance(left, (int, float)) \
+            and not isinstance(left, bool):
+        right = to_number(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        raise XQueryEvaluationError("booleans are not ordered")
+    left_is_str = isinstance(left, str)
+    right_is_str = isinstance(right, str)
+    if left_is_str != right_is_str:
+        # a typed string against a number: never equal, never ordered
+        if op == "=":
+            return False
+        if op == "!=":
+            return True
+        raise XQueryEvaluationError(
+            "cannot order a string against a number")
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    if op == ">=":
+        return left >= right  # type: ignore[operator]
+    raise XQueryEvaluationError(f"unknown comparison operator {op!r}")
+
+
+def general_compare(op: str, left: list[object],
+                    right: list[object]) -> bool:
+    """Existential comparison between two sequences."""
+    left_atoms = atomize(left)
+    right_atoms = atomize(right)
+    for left_item in left_atoms:
+        for right_item in right_atoms:
+            if compare_atomics(op, left_item, right_item):
+                return True
+    return False

@@ -1,0 +1,35 @@
+"""Ordered XML tree model with stable node identity.
+
+This package is the document substrate used throughout the library in
+place of a native XML database.  It provides:
+
+* :mod:`repro.xtree.node` — the DOM: :class:`Document`, :class:`Element`
+  and :class:`Text` nodes with unique node identifiers, parent pointers
+  and ordered children (the three properties the paper's relational
+  mapping of section 4.1 exposes as ``Id``, ``Pos`` and ``IdParent``);
+* :mod:`repro.xtree.parser` — a self-contained XML parser (no dependency
+  on the standard-library ``xml`` package);
+* :mod:`repro.xtree.serializer` — serialization back to text;
+* :mod:`repro.xtree.dtd` — DTD parsing and validation of documents
+  against element content models.
+"""
+
+from repro.xtree.node import Document, Element, Node, Text
+from repro.xtree.parser import parse_document, parse_fragment
+from repro.xtree.serializer import serialize, serialize_fragment
+from repro.xtree.dtd import DTD, ContentModel, parse_dtd, validate
+
+__all__ = [
+    "Document",
+    "Element",
+    "Node",
+    "Text",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "serialize_fragment",
+    "DTD",
+    "ContentModel",
+    "parse_dtd",
+    "validate",
+]

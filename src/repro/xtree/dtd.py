@@ -1,0 +1,653 @@
+"""DTD parsing, content models and document validation.
+
+The paper's schema-design-time pipeline starts from a DTD (section 3.2
+gives the DTDs of the two running-example documents).  This module
+parses ``<!ELEMENT ...>`` and ``<!ATTLIST ...>`` declarations into
+content-model ASTs, validates documents against them (content models are
+compiled to epsilon-NFAs), and answers the structural questions the
+relational mapping of section 4.1 asks:
+
+* which child tags can occur under a tag, and with what cardinality
+  (at-most-once children with text-only content are inlined as columns);
+* which element types are text-only (``#PCDATA``);
+* which element type is the document root (an element type that never
+  occurs inside another content model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DTDError, ValidationError
+from repro.xtree.node import Document, Element, Text
+
+UNBOUNDED: int | None = None
+"""Sentinel for an unbounded maximum cardinality."""
+
+
+# ---------------------------------------------------------------------------
+# Content-model AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ContentModel:
+    """Base class of content-model particles."""
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        """Map each child tag to its (min, max) occurrence bounds."""
+        raise NotImplementedError
+
+    def names(self) -> set[str]:
+        """All child tags mentioned anywhere in the model."""
+        return set(self.cardinalities())
+
+
+@dataclass(frozen=True)
+class EmptyContent(ContentModel):
+    """``EMPTY`` — the element has no content."""
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        return {}
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class AnyContent(ContentModel):
+    """``ANY`` — no constraint on content."""
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        return {}
+
+    def __str__(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True)
+class MixedContent(ContentModel):
+    """``(#PCDATA)`` or ``(#PCDATA | a | b)*`` mixed content."""
+
+    names_allowed: tuple[str, ...] = ()
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        return {name: (0, UNBOUNDED) for name in self.names_allowed}
+
+    def __str__(self) -> str:
+        if not self.names_allowed:
+            return "(#PCDATA)"
+        inner = " | ".join(("#PCDATA",) + self.names_allowed)
+        return f"({inner})*"
+
+
+_OCCURS_BOUNDS = {
+    "": (1, 1),
+    "?": (0, 1),
+    "*": (0, UNBOUNDED),
+    "+": (1, UNBOUNDED),
+}
+
+
+@dataclass(frozen=True)
+class NameParticle(ContentModel):
+    """A child-element reference with an occurrence indicator."""
+
+    name: str
+    occurs: str = ""  # "", "?", "*", "+"
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        return {self.name: _OCCURS_BOUNDS[self.occurs]}
+
+    def __str__(self) -> str:
+        return self.name + self.occurs
+
+
+def _scale(bounds: tuple[int, int | None],
+           occurs: str) -> tuple[int, int | None]:
+    low, high = bounds
+    occurs_low, occurs_high = _OCCURS_BOUNDS[occurs]
+    new_low = low * occurs_low
+    new_high: int | None
+    if high == 0 or occurs_high == 0:
+        new_high = 0
+    elif high is UNBOUNDED or occurs_high is UNBOUNDED:
+        new_high = UNBOUNDED
+    else:
+        new_high = high * occurs_high
+    return new_low, new_high
+
+
+@dataclass(frozen=True)
+class SequenceParticle(ContentModel):
+    """``(a, b, c)`` with an occurrence indicator."""
+
+    items: tuple[ContentModel, ...]
+    occurs: str = ""
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        merged: dict[str, tuple[int, int | None]] = {}
+        for item in self.items:
+            for name, (low, high) in item.cardinalities().items():
+                old_low, old_high = merged.get(name, (0, 0))
+                if old_high is UNBOUNDED or high is UNBOUNDED:
+                    new_high: int | None = UNBOUNDED
+                else:
+                    new_high = old_high + high
+                merged[name] = (old_low + low, new_high)
+        return {name: _scale(bounds, self.occurs)
+                for name, bounds in merged.items()}
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(item) for item in self.items)
+        return f"({inner}){self.occurs}"
+
+
+@dataclass(frozen=True)
+class ChoiceParticle(ContentModel):
+    """``(a | b | c)`` with an occurrence indicator."""
+
+    items: tuple[ContentModel, ...]
+    occurs: str = ""
+
+    def cardinalities(self) -> dict[str, tuple[int, int | None]]:
+        merged: dict[str, tuple[int, int | None]] = {}
+        all_names: set[str] = set()
+        for item in self.items:
+            all_names |= item.names()
+        for name in all_names:
+            lows: list[int] = []
+            highs: list[int | None] = []
+            for item in self.items:
+                low, high = item.cardinalities().get(name, (0, 0))
+                lows.append(low)
+                highs.append(high)
+            high: int | None
+            if any(value is UNBOUNDED for value in highs):
+                high = UNBOUNDED
+            else:
+                high = max(value for value in highs)  # type: ignore[type-var]
+            merged[name] = (min(lows), high)
+        return {name: _scale(bounds, self.occurs)
+                for name, bounds in merged.items()}
+
+    def __str__(self) -> str:
+        inner = " | ".join(str(item) for item in self.items)
+        return f"({inner}){self.occurs}"
+
+
+# ---------------------------------------------------------------------------
+# Attribute declarations
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One attribute declaration from an ``<!ATTLIST ...>``."""
+
+    name: str
+    att_type: str  # "CDATA", "ID", "IDREF", "NMTOKEN", ... or "enum"
+    enum_values: tuple[str, ...] = ()
+    default_kind: str = "#IMPLIED"  # "#REQUIRED", "#IMPLIED", "#FIXED", "value"
+    default_value: str | None = None
+
+    @property
+    def required(self) -> bool:
+        return self.default_kind == "#REQUIRED"
+
+
+# ---------------------------------------------------------------------------
+# DTD container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DTD:
+    """A parsed DTD: element content models plus attribute lists."""
+
+    elements: dict[str, ContentModel] = field(default_factory=dict)
+    attributes: dict[str, list[AttributeDef]] = field(default_factory=dict)
+
+    def content_model(self, tag: str) -> ContentModel:
+        try:
+            return self.elements[tag]
+        except KeyError:
+            raise DTDError(f"no <!ELEMENT> declaration for {tag!r}") from None
+
+    def attribute_defs(self, tag: str) -> list[AttributeDef]:
+        return self.attributes.get(tag, [])
+
+    def is_pcdata_only(self, tag: str) -> bool:
+        """True if ``tag`` holds character data only (``(#PCDATA)``)."""
+        model = self.content_model(tag)
+        return isinstance(model, MixedContent) and not model.names_allowed
+
+    def is_empty(self, tag: str) -> bool:
+        return isinstance(self.content_model(tag), EmptyContent)
+
+    def child_cardinalities(self, tag: str) -> dict[str, tuple[int, int | None]]:
+        """Occurrence bounds of each child tag under ``tag``."""
+        return self.content_model(tag).cardinalities()
+
+    def root_candidates(self) -> list[str]:
+        """Element types that never occur in another content model.
+
+        For a well-formed document DTD there is exactly one; the list is
+        returned in declaration order.
+        """
+        referenced: set[str] = set()
+        for model in self.elements.values():
+            referenced |= model.names()
+        return [tag for tag in self.elements if tag not in referenced]
+
+    def root(self) -> str:
+        candidates = self.root_candidates()
+        if len(candidates) != 1:
+            raise DTDError(
+                "cannot determine a unique root element; candidates: "
+                + ", ".join(candidates))
+        return candidates[0]
+
+    def parents_of(self, tag: str) -> list[str]:
+        """Element types whose content model can contain ``tag``."""
+        return [
+            parent for parent, model in self.elements.items()
+            if tag in model.names()
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+class _DTDParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> DTDError:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return DTDError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_whitespace_and_comments(self) -> None:
+        while not self.at_end():
+            if self.peek() in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            else:
+                return
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        start = self.pos
+        while not self.at_end() and (
+                self.text[self.pos].isalnum()
+                or self.text[self.pos] in "_:.-#"):
+            self.pos += 1
+        if start == self.pos:
+            raise self.error("expected a name")
+        return self.text[start:self.pos]
+
+    def read_occurs(self) -> str:
+        if self.peek() in "?*+":
+            char = self.peek()
+            self.pos += 1
+            return char
+        return ""
+
+    # -- content models ------------------------------------------------------
+
+    def parse_content_spec(self) -> ContentModel:
+        self.skip_whitespace_and_comments()
+        if self.text.startswith("EMPTY", self.pos):
+            self.pos += len("EMPTY")
+            return EmptyContent()
+        if self.text.startswith("ANY", self.pos):
+            self.pos += len("ANY")
+            return AnyContent()
+        if self.peek() != "(":
+            raise self.error("expected '(' in content model")
+        return self.parse_group()
+
+    def parse_group(self) -> ContentModel:
+        self.expect("(")
+        self.skip_whitespace_and_comments()
+        if self.text.startswith("#PCDATA", self.pos):
+            self.pos += len("#PCDATA")
+            names: list[str] = []
+            while True:
+                self.skip_whitespace_and_comments()
+                if self.peek() == "|":
+                    self.pos += 1
+                    self.skip_whitespace_and_comments()
+                    names.append(self.read_name())
+                elif self.peek() == ")":
+                    self.pos += 1
+                    break
+                else:
+                    raise self.error("malformed mixed content model")
+            if names:
+                self.expect("*")
+            elif self.peek() == "*":
+                self.pos += 1
+            return MixedContent(tuple(names))
+        items = [self.parse_particle()]
+        separator = ""
+        while True:
+            self.skip_whitespace_and_comments()
+            char = self.peek()
+            if char == ")":
+                self.pos += 1
+                break
+            if char not in (",", "|"):
+                raise self.error("expected ',', '|' or ')' in content model")
+            if separator and char != separator:
+                raise self.error("cannot mix ',' and '|' in one group")
+            separator = char
+            self.pos += 1
+            items.append(self.parse_particle())
+        occurs = self.read_occurs()
+        if len(items) == 1 and not occurs:
+            return items[0]
+        if separator == "|":
+            return ChoiceParticle(tuple(items), occurs)
+        return SequenceParticle(tuple(items), occurs)
+
+    def parse_particle(self) -> ContentModel:
+        self.skip_whitespace_and_comments()
+        if self.peek() == "(":
+            return self.parse_group()
+        name = self.read_name()
+        return NameParticle(name, self.read_occurs())
+
+    # -- declarations ---------------------------------------------------------
+
+    def parse(self) -> DTD:
+        dtd = DTD()
+        while True:
+            self.skip_whitespace_and_comments()
+            if self.at_end():
+                return dtd
+            if self.text.startswith("<!ELEMENT", self.pos):
+                self.pos += len("<!ELEMENT")
+                self.skip_whitespace_and_comments()
+                name = self.read_name()
+                model = self.parse_content_spec()
+                self.skip_whitespace_and_comments()
+                self.expect(">")
+                if name in dtd.elements:
+                    raise self.error(f"duplicate <!ELEMENT> for {name!r}")
+                dtd.elements[name] = model
+            elif self.text.startswith("<!ATTLIST", self.pos):
+                self.pos += len("<!ATTLIST")
+                self.skip_whitespace_and_comments()
+                element_name = self.read_name()
+                defs = dtd.attributes.setdefault(element_name, [])
+                while True:
+                    self.skip_whitespace_and_comments()
+                    if self.peek() == ">":
+                        self.pos += 1
+                        break
+                    defs.append(self.parse_attribute_def())
+            else:
+                raise self.error("expected <!ELEMENT> or <!ATTLIST>")
+
+    def parse_attribute_def(self) -> AttributeDef:
+        name = self.read_name()
+        self.skip_whitespace_and_comments()
+        enum_values: tuple[str, ...] = ()
+        if self.peek() == "(":
+            self.pos += 1
+            values: list[str] = []
+            while True:
+                self.skip_whitespace_and_comments()
+                values.append(self.read_name())
+                self.skip_whitespace_and_comments()
+                if self.peek() == "|":
+                    self.pos += 1
+                elif self.peek() == ")":
+                    self.pos += 1
+                    break
+                else:
+                    raise self.error("malformed enumerated attribute type")
+            att_type = "enum"
+            enum_values = tuple(values)
+        else:
+            att_type = self.read_name()
+        self.skip_whitespace_and_comments()
+        default_kind: str
+        default_value: str | None = None
+        if self.peek() == "#":
+            default_kind = self.read_name()
+            if default_kind == "#FIXED":
+                self.skip_whitespace_and_comments()
+                default_value = self.read_quoted()
+        elif self.peek() in "'\"":
+            default_kind = "value"
+            default_value = self.read_quoted()
+        else:
+            raise self.error("expected attribute default")
+        return AttributeDef(name, att_type, enum_values, default_kind,
+                            default_value)
+
+    def read_quoted(self) -> str:
+        quote = self.peek()
+        if quote not in "'\"":
+            raise self.error("expected quoted value")
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end == -1:
+            raise self.error("unterminated quoted value")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return value
+
+
+def parse_dtd(text: str) -> DTD:
+    """Parse DTD text (a sequence of declarations) into a :class:`DTD`."""
+    return _DTDParser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Validation: content models compiled to epsilon-NFAs
+# ---------------------------------------------------------------------------
+
+class _NFA:
+    """Thompson-style NFA over child-tag alphabets."""
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[str, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+        self.start = self.new_state()
+        self.accept: int = -1
+
+    def new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilon.append(set())
+        return len(self.transitions) - 1
+
+    def add_edge(self, source: int, symbol: str, target: int) -> None:
+        self.transitions[source].setdefault(symbol, set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon[source].add(target)
+
+    def closure(self, states: set[int]) -> set[int]:
+        stack = list(states)
+        result = set(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon[state]:
+                if target not in result:
+                    result.add(target)
+                    stack.append(target)
+        return result
+
+    def matches(self, symbols: list[str]) -> bool:
+        current = self.closure({self.start})
+        for symbol in symbols:
+            following: set[int] = set()
+            for state in current:
+                following |= self.transitions[state].get(symbol, set())
+            if not following:
+                return False
+            current = self.closure(following)
+        return self.accept in current
+
+
+def _build_fragment(nfa: _NFA, model: ContentModel) -> tuple[int, int]:
+    """Build an NFA fragment for ``model``; return (entry, exit) states."""
+    entry = nfa.new_state()
+    exit_state = nfa.new_state()
+    if isinstance(model, NameParticle):
+        inner_in = nfa.new_state()
+        inner_out = nfa.new_state()
+        nfa.add_edge(inner_in, model.name, inner_out)
+        _wire_occurs(nfa, entry, exit_state, inner_in, inner_out, model.occurs)
+    elif isinstance(model, SequenceParticle):
+        inner_in = nfa.new_state()
+        current = inner_in
+        for item in model.items:
+            item_in, item_out = _build_fragment(nfa, item)
+            nfa.add_epsilon(current, item_in)
+            current = item_out
+        _wire_occurs(nfa, entry, exit_state, inner_in, current, model.occurs)
+    elif isinstance(model, ChoiceParticle):
+        inner_in = nfa.new_state()
+        inner_out = nfa.new_state()
+        for item in model.items:
+            item_in, item_out = _build_fragment(nfa, item)
+            nfa.add_epsilon(inner_in, item_in)
+            nfa.add_epsilon(item_out, inner_out)
+        _wire_occurs(nfa, entry, exit_state, inner_in, inner_out, model.occurs)
+    else:
+        raise DTDError(f"cannot compile content model {model!r}")
+    return entry, exit_state
+
+
+def _wire_occurs(nfa: _NFA, entry: int, exit_state: int, inner_in: int,
+                 inner_out: int, occurs: str) -> None:
+    nfa.add_epsilon(entry, inner_in)
+    nfa.add_epsilon(inner_out, exit_state)
+    if occurs in ("?", "*"):
+        nfa.add_epsilon(entry, exit_state)
+    if occurs in ("+", "*"):
+        nfa.add_epsilon(inner_out, inner_in)
+
+
+def _compile_nfa(model: ContentModel) -> _NFA:
+    nfa = _NFA()
+    entry, exit_state = _build_fragment(nfa, model)
+    nfa.add_epsilon(nfa.start, entry)
+    nfa.accept = exit_state
+    return nfa
+
+
+class _Validator:
+    def __init__(self, dtd: DTD) -> None:
+        self.dtd = dtd
+        self._nfas: dict[str, _NFA] = {}
+
+    def nfa_for(self, tag: str) -> _NFA | None:
+        model = self.dtd.content_model(tag)
+        if isinstance(model, (EmptyContent, AnyContent, MixedContent)):
+            return None
+        if tag not in self._nfas:
+            self._nfas[tag] = _compile_nfa(model)
+        return self._nfas[tag]
+
+    def validate_element(self, element: Element) -> None:
+        tag = element.tag
+        model = self.dtd.content_model(tag)
+        child_tags = [child.tag for child in element.element_children()]
+        has_text = any(
+            isinstance(child, Text) and child.value.strip()
+            for child in element.children)
+        if isinstance(model, EmptyContent):
+            if element.children:
+                raise ValidationError(
+                    f"element <{tag}> at {element.location_path()} is "
+                    "declared EMPTY but has content")
+        elif isinstance(model, MixedContent):
+            illegal = [
+                child_tag for child_tag in child_tags
+                if child_tag not in model.names_allowed]
+            if illegal:
+                raise ValidationError(
+                    f"element <{tag}> at {element.location_path()} contains "
+                    f"undeclared children: {', '.join(illegal)}")
+        elif isinstance(model, AnyContent):
+            pass
+        else:
+            if has_text:
+                raise ValidationError(
+                    f"element <{tag}> at {element.location_path()} has "
+                    "element content but contains character data")
+            nfa = self.nfa_for(tag)
+            assert nfa is not None
+            if not nfa.matches(child_tags):
+                raise ValidationError(
+                    f"children of <{tag}> at {element.location_path()} "
+                    f"({', '.join(child_tags) or 'none'}) do not match "
+                    f"content model {model}")
+        self.validate_attributes(element)
+
+    def validate_attributes(self, element: Element) -> None:
+        defs = {att.name: att for att in self.dtd.attribute_defs(element.tag)}
+        for name in element.attributes:
+            if name not in defs:
+                raise ValidationError(
+                    f"undeclared attribute {name!r} on <{element.tag}> at "
+                    f"{element.location_path()}")
+        for att in defs.values():
+            value = element.attributes.get(att.name)
+            if value is None:
+                if att.required:
+                    raise ValidationError(
+                        f"missing required attribute {att.name!r} on "
+                        f"<{element.tag}> at {element.location_path()}")
+                continue
+            if att.att_type == "enum" and value not in att.enum_values:
+                raise ValidationError(
+                    f"attribute {att.name!r} on <{element.tag}> has value "
+                    f"{value!r}, not in {att.enum_values}")
+            if att.default_kind == "#FIXED" and value != att.default_value:
+                raise ValidationError(
+                    f"attribute {att.name!r} on <{element.tag}> must have "
+                    f"fixed value {att.default_value!r}")
+
+
+def validate(document: Document, dtd: DTD) -> None:
+    """Validate ``document`` against ``dtd``.
+
+    Raises :class:`repro.errors.ValidationError` on the first violation
+    found (in document order); returns ``None`` when valid.
+    """
+    validator = _Validator(dtd)
+    for element in document.iter_elements():
+        validator.validate_element(element)
+
+
+def iter_validation_errors(document: Document,
+                           dtd: DTD) -> Iterator[ValidationError]:
+    """Yield every validation error instead of stopping at the first."""
+    validator = _Validator(dtd)
+    for element in document.iter_elements():
+        try:
+            validator.validate_element(element)
+        except ValidationError as error:
+            yield error

@@ -1,0 +1,308 @@
+"""DOM node classes: ordered trees with stable node identifiers.
+
+The model follows the needs of the paper's relational mapping (section
+4.1): every node has a unique identifier within its document, a parent
+pointer, and an ordered list of children.  Element order is significant;
+attributes are unordered.
+
+Nodes may exist *detached* (``document is None``) — e.g. a fragment built
+by an XUpdate statement before insertion.  Attaching a subtree to a
+document assigns fresh node identifiers to every node of the subtree that
+does not have one yet; identifiers are never reused within a document,
+which is exactly the freshness hypothesis the simplification procedure
+relies on (the Δ sets of section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Node:
+    """Common behaviour of element and text nodes."""
+
+    __slots__ = ("node_id", "parent", "document")
+
+    def __init__(self) -> None:
+        self.node_id: int | None = None
+        self.parent: Element | None = None
+        self.document: Document | None = None
+
+    # -- tree navigation ---------------------------------------------------
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield the parent, grandparent, ... up to the root element."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Return the topmost node of the tree this node belongs to."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    @property
+    def child_position(self) -> int:
+        """1-based position among *all* element siblings.
+
+        This is the ``Pos`` attribute of the relational mapping.  Text
+        nodes do not contribute to positions (the running-example DTDs
+        have no mixed content), so only element siblings are counted.
+        Detached nodes and the root have position 1.
+        """
+        if not isinstance(self, Element):
+            raise TypeError("positions are defined for elements only")
+        if self.parent is None:
+            return 1
+        position = 0
+        for sibling in self.parent.children:
+            if isinstance(sibling, Element):
+                position += 1
+                if sibling is self:
+                    return position
+        raise ValueError("node is not among its parent's children")
+
+    @property
+    def sibling_position(self) -> int:
+        """1-based position among same-tag element siblings.
+
+        This is the index XPath uses in steps like ``rev[5]`` and the one
+        used when rendering a node as an absolute location path.
+        """
+        if not isinstance(self, Element) or self.parent is None:
+            return 1
+        position = 0
+        for sibling in self.parent.children:
+            if isinstance(sibling, Element) and sibling.tag == self.tag:
+                position += 1
+                if sibling is self:
+                    return position
+        raise ValueError("node is not among its parent's children")
+
+    def location_path(self) -> str:
+        """Absolute location path, e.g. ``/review/track[2]/rev[5]``.
+
+        Used to render node-valued parameters in translated XQuery checks
+        (the ``/review/track[%t]/rev[%r]`` form of section 6).
+        """
+        if not isinstance(self, Element):
+            raise TypeError("location paths are defined for elements only")
+        steps: list[str] = []
+        node: Element | None = self
+        while node is not None:
+            if node.parent is None:
+                steps.append(f"/{node.tag}")
+            else:
+                index = node.sibling_position
+                same_tag = [
+                    child for child in node.parent.children
+                    if isinstance(child, Element) and child.tag == node.tag
+                ]
+                if len(same_tag) > 1:
+                    steps.append(f"/{node.tag}[{index}]")
+                else:
+                    steps.append(f"/{node.tag}")
+            node = node.parent
+        return "".join(reversed(steps))
+
+
+class Text(Node):
+    """A text node.  ``value`` is the unescaped character data."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Text({self.value!r})"
+
+
+class Element(Node):
+    """An element node with a tag, attributes and ordered children."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None,
+                 children: list[Node] | None = None) -> None:
+        super().__init__()
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = []
+        for child in children or []:
+            self.append(child)
+
+    # -- construction / mutation -------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Append ``child`` as the last child and return it."""
+        return self.insert(len(self.children), child)
+
+    def insert(self, index: int, child: Node) -> Node:
+        """Insert ``child`` at ``index`` in the children list.
+
+        The child must be detached (no parent).  If this element belongs
+        to a document, the whole inserted subtree is registered with it
+        and receives fresh node identifiers.
+        """
+        if child.parent is not None:
+            raise ValueError("child already has a parent; detach it first")
+        self.children.insert(index, child)
+        child.parent = self
+        if self.document is not None:
+            self.document.adopt(child)
+        return child
+
+    def insert_after(self, anchor: Node, child: Node) -> Node:
+        """Insert ``child`` immediately after existing child ``anchor``."""
+        index = self._child_index(anchor)
+        return self.insert(index + 1, child)
+
+    def insert_before(self, anchor: Node, child: Node) -> Node:
+        """Insert ``child`` immediately before existing child ``anchor``."""
+        index = self._child_index(anchor)
+        return self.insert(index, child)
+
+    def remove(self, child: Node) -> Node:
+        """Detach ``child`` (and its subtree) from this element.
+
+        The subtree keeps its node identifiers so that re-inserting it
+        (e.g. during a rollback) restores the original identities, but it
+        is unregistered from the document's id index.
+        """
+        index = self._child_index(child)
+        del self.children[index]
+        child.parent = None
+        if self.document is not None:
+            self.document.orphan(child)
+        return child
+
+    def _child_index(self, child: Node) -> int:
+        for index, candidate in enumerate(self.children):
+            if candidate is child:
+                return index
+        raise ValueError("node is not a child of this element")
+
+    # -- navigation ----------------------------------------------------------
+
+    def element_children(self, tag: str | None = None) -> list["Element"]:
+        """Element children in document order, optionally filtered by tag."""
+        return [
+            child for child in self.children
+            if isinstance(child, Element) and (tag is None or child.tag == tag)
+        ]
+
+    def first_child(self, tag: str) -> "Element | None":
+        """First element child with the given tag, or ``None``."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def text(self) -> str:
+        """Concatenated character data of the *direct* text children.
+
+        This is the value selected by ``text()`` in path expressions.
+        """
+        return "".join(
+            child.value for child in self.children if isinstance(child, Text))
+
+    def string_value(self) -> str:
+        """Concatenated character data of the whole subtree."""
+        parts: list[str] = []
+        for node in self.iter():
+            if isinstance(node, Text):
+                parts.append(node.value)
+        return "".join(parts)
+
+    def iter(self) -> Iterator[Node]:
+        """Yield this node and every descendant in document order."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+            else:
+                yield child
+
+    def iter_elements(self, tag: str | None = None) -> Iterator["Element"]:
+        """Yield descendant-or-self elements in document order."""
+        for node in self.iter():
+            if isinstance(node, Element) and (tag is None or node.tag == tag):
+                yield node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Element({self.tag!r}, id={self.node_id})"
+
+
+class Document:
+    """An XML document: a root element plus the node-identity machinery.
+
+    The document owns the node-id counter.  Identifiers are positive
+    integers, assigned in adoption order, and never reused — a removed
+    subtree keeps its ids but new nodes always get ids strictly greater
+    than any ever assigned.
+    """
+
+    __slots__ = ("root", "_next_id", "_nodes_by_id", "revision")
+
+    def __init__(self, root: Element) -> None:
+        if root.parent is not None:
+            raise ValueError("document root must be detached")
+        self.root = root
+        self._next_id = 1
+        self._nodes_by_id: dict[int, Node] = {}
+        #: monotone change counter; bumped by every adopt/orphan so
+        #: query engines can cache derived structures safely
+        self.revision = 0
+        root.document = None  # adopt() sets it
+        self.adopt(root)
+
+    def adopt(self, node: Node) -> None:
+        """Register ``node`` and its subtree, assigning missing ids."""
+        self.revision += 1
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            current.document = self
+            if current.node_id is None:
+                current.node_id = self.allocate_id()
+            else:
+                # keep the counter ahead of pre-assigned identifiers
+                # (rollback re-insertions, reconstructed documents)
+                self._next_id = max(self._next_id, current.node_id + 1)
+            self._nodes_by_id[current.node_id] = current
+            if isinstance(current, Element):
+                stack.extend(reversed(current.children))
+
+    def orphan(self, node: Node) -> None:
+        """Unregister ``node`` and its subtree from the id index."""
+        self.revision += 1
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            current.document = None
+            if current.node_id is not None:
+                self._nodes_by_id.pop(current.node_id, None)
+            if isinstance(current, Element):
+                stack.extend(reversed(current.children))
+
+    def allocate_id(self) -> int:
+        """Return a fresh node identifier (never used in this document)."""
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def node_by_id(self, node_id: int) -> Node | None:
+        """Look up a currently attached node by identifier."""
+        return self._nodes_by_id.get(node_id)
+
+    def iter_elements(self, tag: str | None = None) -> Iterator[Element]:
+        """Yield all elements of the document in document order."""
+        return self.root.iter_elements(tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document(root={self.root.tag!r}, nodes={len(self._nodes_by_id)})"

@@ -1,0 +1,326 @@
+"""A self-contained, non-validating XML parser.
+
+Supports the XML subset needed by the system: elements, attributes,
+character data, CDATA sections, comments, processing instructions, a
+``DOCTYPE`` declaration (whose internal subset is preserved so it can be
+handed to :func:`repro.xtree.dtd.parse_dtd`), and the five predefined
+entities plus numeric character references.  Namespaces are not resolved;
+qualified names such as ``xupdate:insert-after`` are kept verbatim as tag
+names.
+
+Whitespace-only text between elements is dropped by default — the
+running-example DTDs have purely element content, where such whitespace
+is insignificant — and can be retained with ``keep_whitespace=True``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xtree.node import Document, Element, Node, Text
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class _Cursor:
+    """Position tracking over the input text."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XMLParseError:
+        line, column = self.location()
+        return XMLParseError(message, line, column)
+
+
+class _Parser:
+    def __init__(self, text: str, keep_whitespace: bool) -> None:
+        self.cursor = _Cursor(text)
+        self.keep_whitespace = keep_whitespace
+        self.doctype_internal_subset: str | None = None
+
+    # -- lexical helpers ----------------------------------------------------
+
+    def skip_whitespace(self) -> None:
+        cursor = self.cursor
+        while not cursor.at_end() and cursor.peek() in " \t\r\n":
+            cursor.advance()
+
+    def expect(self, literal: str) -> None:
+        if not self.cursor.startswith(literal):
+            raise self.cursor.error(f"expected {literal!r}")
+        self.cursor.advance(len(literal))
+
+    def read_name(self) -> str:
+        cursor = self.cursor
+        if cursor.at_end() or not _is_name_start(cursor.peek()):
+            raise cursor.error("expected a name")
+        start = cursor.pos
+        cursor.advance()
+        while not cursor.at_end() and _is_name_char(cursor.peek()):
+            cursor.advance()
+        return cursor.text[start:cursor.pos]
+
+    def decode_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        parts: list[str] = []
+        index = 0
+        while index < len(raw):
+            char = raw[index]
+            if char != "&":
+                parts.append(char)
+                index += 1
+                continue
+            end = raw.find(";", index)
+            if end == -1:
+                raise self.cursor.error("unterminated entity reference")
+            entity = raw[index + 1: end]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                parts.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                parts.append(chr(int(entity[1:])))
+            elif entity in _PREDEFINED_ENTITIES:
+                parts.append(_PREDEFINED_ENTITIES[entity])
+            else:
+                raise self.cursor.error(f"unknown entity &{entity};")
+            index = end + 1
+        return "".join(parts)
+
+    # -- grammar ------------------------------------------------------------
+
+    def skip_misc(self) -> None:
+        """Skip prolog items: XML declaration, comments, PIs, DOCTYPE."""
+        cursor = self.cursor
+        while True:
+            self.skip_whitespace()
+            if cursor.startswith("<?"):
+                end = cursor.text.find("?>", cursor.pos)
+                if end == -1:
+                    raise cursor.error("unterminated processing instruction")
+                cursor.pos = end + 2
+            elif cursor.startswith("<!--"):
+                self.skip_comment()
+            elif cursor.startswith("<!DOCTYPE"):
+                self.skip_doctype()
+            else:
+                return
+
+    def skip_comment(self) -> None:
+        cursor = self.cursor
+        end = cursor.text.find("-->", cursor.pos + 4)
+        if end == -1:
+            raise cursor.error("unterminated comment")
+        cursor.pos = end + 3
+
+    def skip_doctype(self) -> None:
+        cursor = self.cursor
+        cursor.advance(len("<!DOCTYPE"))
+        depth = 0
+        subset_start: int | None = None
+        while not cursor.at_end():
+            char = cursor.peek()
+            if char == "[":
+                if depth == 0:
+                    subset_start = cursor.pos + 1
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth == 0 and subset_start is not None:
+                    self.doctype_internal_subset = \
+                        cursor.text[subset_start:cursor.pos]
+            elif char == ">" and depth == 0:
+                cursor.advance()
+                return
+            cursor.advance()
+        raise cursor.error("unterminated DOCTYPE declaration")
+
+    def parse_element(self) -> Element:
+        cursor = self.cursor
+        self.expect("<")
+        tag = self.read_name()
+        attributes: dict[str, str] = {}
+        while True:
+            self.skip_whitespace()
+            if cursor.startswith("/>"):
+                cursor.advance(2)
+                return Element(tag, attributes)
+            if cursor.startswith(">"):
+                cursor.advance()
+                break
+            name = self.read_name()
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            quote = cursor.peek()
+            if quote not in ("'", '"'):
+                raise cursor.error("attribute value must be quoted")
+            cursor.advance()
+            end = cursor.text.find(quote, cursor.pos)
+            if end == -1:
+                raise cursor.error("unterminated attribute value")
+            if name in attributes:
+                raise cursor.error(f"duplicate attribute {name!r}")
+            attributes[name] = self.decode_entities(cursor.text[cursor.pos:end])
+            cursor.pos = end + 1
+        element = Element(tag, attributes)
+        self.parse_content(element)
+        self.expect("</")
+        closing = self.read_name()
+        if closing != tag:
+            raise cursor.error(
+                f"mismatched end tag: expected </{tag}>, found </{closing}>")
+        self.skip_whitespace()
+        self.expect(">")
+        return element
+
+    def parse_content(self, parent: Element) -> None:
+        cursor = self.cursor
+        text_parts: list[str] = []
+
+        def flush_text() -> None:
+            if not text_parts:
+                return
+            value = self.decode_entities("".join(text_parts))
+            text_parts.clear()
+            if value.strip() or (self.keep_whitespace and value):
+                parent.append(Text(value))
+
+        while True:
+            if cursor.at_end():
+                raise cursor.error(f"unterminated element <{parent.tag}>")
+            if cursor.startswith("</"):
+                flush_text()
+                return
+            if cursor.startswith("<!--"):
+                flush_text()
+                self.skip_comment()
+            elif cursor.startswith("<![CDATA["):
+                end = cursor.text.find("]]>", cursor.pos)
+                if end == -1:
+                    raise cursor.error("unterminated CDATA section")
+                parent.append(Text(cursor.text[cursor.pos + 9: end]))
+                cursor.pos = end + 3
+            elif cursor.startswith("<?"):
+                flush_text()
+                end = cursor.text.find("?>", cursor.pos)
+                if end == -1:
+                    raise cursor.error("unterminated processing instruction")
+                cursor.pos = end + 2
+            elif cursor.startswith("<"):
+                flush_text()
+                parent.append(self.parse_element())
+            else:
+                text_parts.append(cursor.peek())
+                cursor.advance()
+
+    def parse_content_top(self, parent: Element) -> None:
+        """Parse content up to end of input (for fragments)."""
+        cursor = self.cursor
+        text_parts: list[str] = []
+
+        def flush_text() -> None:
+            if not text_parts:
+                return
+            value = self.decode_entities("".join(text_parts))
+            text_parts.clear()
+            if value.strip() or (self.keep_whitespace and value):
+                parent.append(Text(value))
+
+        while not cursor.at_end():
+            if cursor.startswith("</"):
+                raise cursor.error("unexpected end tag in fragment")
+            if cursor.startswith("<!--"):
+                flush_text()
+                self.skip_comment()
+            elif cursor.startswith("<![CDATA["):
+                end = cursor.text.find("]]>", cursor.pos)
+                if end == -1:
+                    raise cursor.error("unterminated CDATA section")
+                parent.append(Text(cursor.text[cursor.pos + 9: end]))
+                cursor.pos = end + 3
+            elif cursor.startswith("<?"):
+                flush_text()
+                end = cursor.text.find("?>", cursor.pos)
+                if end == -1:
+                    raise cursor.error("unterminated processing instruction")
+                cursor.pos = end + 2
+            elif cursor.startswith("<"):
+                flush_text()
+                parent.append(self.parse_element())
+            else:
+                text_parts.append(cursor.peek())
+                cursor.advance()
+        flush_text()
+
+
+def parse_document(text: str, keep_whitespace: bool = False) -> Document:
+    """Parse a complete XML document into a :class:`Document`.
+
+    Raises :class:`repro.errors.XMLParseError` on malformed input,
+    including trailing content after the root element.
+    """
+    parser = _Parser(text, keep_whitespace)
+    parser.skip_misc()
+    if parser.cursor.at_end() or not parser.cursor.startswith("<"):
+        raise parser.cursor.error("expected root element")
+    root = parser.parse_element()
+    parser.skip_misc()
+    parser.skip_whitespace()
+    if not parser.cursor.at_end():
+        raise parser.cursor.error("unexpected content after root element")
+    document = Document(root)
+    return document
+
+
+def parse_fragment(text: str, keep_whitespace: bool = False) -> list[Node]:
+    """Parse a sequence of top-level nodes (elements and text).
+
+    Useful for building update fragments in tests and examples.  The
+    returned nodes are detached (no document, no node ids).
+    """
+    parser = _Parser(text, keep_whitespace)
+    container = Element("#fragment")
+    parser.parse_content_top(container)
+    nodes = list(container.children)
+    for node in nodes:
+        container.remove(node)
+    return nodes

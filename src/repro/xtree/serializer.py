@@ -1,0 +1,74 @@
+"""Serialization of the DOM back to XML text."""
+
+from __future__ import annotations
+
+from repro.xtree.node import Document, Element, Node, Text
+
+
+def _escape_text(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _write_node(node: Node, parts: list[str], indent: int | None,
+                level: int) -> None:
+    if isinstance(node, Text):
+        parts.append(_escape_text(node.value))
+        return
+    assert isinstance(node, Element)
+    pad = "" if indent is None else "\n" + " " * (indent * level)
+    attributes = "".join(
+        f' {name}="{_escape_attribute(value)}"'
+        for name, value in node.attributes.items()
+    )
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attributes}/>")
+        return
+    only_text = all(isinstance(child, Text) for child in node.children)
+    parts.append(f"{pad}<{node.tag}{attributes}>")
+    for child in node.children:
+        _write_node(child, parts, None if only_text else indent, level + 1)
+    if indent is not None and not only_text:
+        parts.append("\n" + " " * (indent * level))
+    parts.append(f"</{node.tag}>")
+
+
+def serialize(document: Document, indent: int | None = None,
+              declaration: bool = True) -> str:
+    """Serialize a document to XML text.
+
+    Args:
+        document: the document to serialize.
+        indent: number of spaces per nesting level for pretty-printing, or
+            ``None`` for compact output.  Elements whose children are all
+            text are always kept on one line so that ``text()`` values are
+            not polluted with indentation whitespace.
+        declaration: prepend an ``<?xml ...?>`` declaration.
+    """
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent is None:
+            parts.append("\n")
+    _write_node(document.root, parts,
+                indent, 0)
+    text = "".join(parts)
+    return text.lstrip("\n") if indent is not None else text
+
+
+def serialize_fragment(node: Node, indent: int | None = None) -> str:
+    """Serialize a single (possibly detached) node to XML text."""
+    parts: list[str] = []
+    _write_node(node, parts, indent, 0)
+    return "".join(parts).lstrip("\n")

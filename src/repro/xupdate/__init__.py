@@ -1,0 +1,44 @@
+"""XUpdate: the update language of the paper (section 4.1).
+
+Updates are expressed as XUpdate modification documents
+(``xupdate:insert-after``, ``insert-before``, ``append``, ``remove``)
+whose content is built from ``xupdate:element`` / ``xupdate:text``
+constructors or literal XML.  This package provides:
+
+* :mod:`repro.xupdate.parser` — parsing modification documents into
+  operation objects;
+* :mod:`repro.xupdate.apply` — executing operations on a document, with
+  inverse operations for rollback (the compensating action of the
+  evaluation section);
+* :mod:`repro.xupdate.analyze` — the static side of section 4.1:
+  deriving the *relational update pattern* of an operation (parametric
+  atoms, fresh-identifier set, parameter binder) so the simplification
+  framework can specialize constraints for it at schema design time and
+  instantiate them at update time.
+"""
+
+from repro.xupdate.parser import (
+    InsertOperation,
+    Operation,
+    RemoveOperation,
+    parse_modifications,
+)
+from repro.xupdate.apply import AppliedOperation, apply_operation, apply_text
+from repro.xupdate.analyze import (
+    AnalyzedUpdate,
+    UpdateSignature,
+    analyze_operation,
+)
+
+__all__ = [
+    "InsertOperation",
+    "Operation",
+    "RemoveOperation",
+    "parse_modifications",
+    "AppliedOperation",
+    "apply_operation",
+    "apply_text",
+    "AnalyzedUpdate",
+    "UpdateSignature",
+    "analyze_operation",
+]

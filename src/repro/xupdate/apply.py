@@ -1,0 +1,132 @@
+"""Executing XUpdate operations on a document, with rollback support.
+
+The evaluation section of the paper compares the optimized strategy
+(check first, then apply) against the brute-force one (apply, check,
+roll back on violation); rollbacks are "simulated by performing a
+compensating action" — here the exact inverse operation recorded by
+:class:`AppliedOperation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UpdateApplicationError
+from repro.xquery.engine import evaluate_query
+from repro.xquery.parser import parse_query
+from repro.xtree.node import Document, Element, Node
+from repro.xupdate.parser import (
+    InsertOperation,
+    Operation,
+    RemoveOperation,
+    parse_modifications,
+)
+
+
+@dataclass
+class AppliedOperation:
+    """The result of one executed operation, undoable via
+    :meth:`rollback`."""
+
+    document: Document
+    #: nodes inserted (attached), in insertion order
+    inserted: list[Node]
+    #: (parent, index, node) triples for removed nodes
+    removed: list[tuple[Element, int, Node]]
+    rolled_back: bool = False
+
+    def rollback(self) -> None:
+        """Undo the operation (compensating action)."""
+        if self.rolled_back:
+            raise UpdateApplicationError("operation already rolled back")
+        for node in reversed(self.inserted):
+            parent = node.parent
+            if parent is None:
+                raise UpdateApplicationError(
+                    "inserted node already detached; cannot roll back")
+            parent.remove(node)
+        for parent, index, node in reversed(self.removed):
+            parent.insert(index, node)
+        self.rolled_back = True
+
+
+def resolve_select(document: Document, select: str) -> Element:
+    """Resolve a select path to a single element of the document."""
+    result = evaluate_query(parse_query(select), document)
+    elements = [item for item in result if isinstance(item, Element)]
+    if not elements:
+        raise UpdateApplicationError(
+            f"select {select!r} matches no element")
+    return elements[0]
+
+
+def apply_operation(document: Document,
+                    operation: Operation) -> AppliedOperation:
+    """Execute one operation and return its undo record."""
+    if isinstance(operation, InsertOperation):
+        return _apply_insert(document, operation)
+    assert isinstance(operation, RemoveOperation)
+    return _apply_remove(document, operation)
+
+
+def _apply_insert(document: Document,
+                  operation: InsertOperation) -> AppliedOperation:
+    anchor = resolve_select(document, operation.select)
+    content = [_deep_copy(node) for node in operation.content]
+    inserted: list[Node] = []
+    if operation.kind == "append":
+        for node in content:
+            anchor.append(node)
+            inserted.append(node)
+    else:
+        parent = anchor.parent
+        if parent is None:
+            raise UpdateApplicationError(
+                "cannot insert a sibling of the document root")
+        reference: Node = anchor
+        if operation.kind == "before":
+            for node in content:
+                parent.insert_before(reference, node)
+                inserted.append(node)
+        else:
+            for node in content:
+                parent.insert_after(reference, node)
+                inserted.append(node)
+                reference = node
+    return AppliedOperation(document, inserted, [])
+
+
+def _apply_remove(document: Document,
+                  operation: RemoveOperation) -> AppliedOperation:
+    target = resolve_select(document, operation.select)
+    parent = target.parent
+    if parent is None:
+        raise UpdateApplicationError("cannot remove the document root")
+    index = parent.children.index(target)
+    parent.remove(target)
+    return AppliedOperation(document, [], [(parent, index, target)])
+
+
+def apply_text(document: Document, text: str) -> list[AppliedOperation]:
+    """Parse and execute a whole modification document."""
+    applied: list[AppliedOperation] = []
+    try:
+        for operation in parse_modifications(text):
+            applied.append(apply_operation(document, operation))
+    except Exception:
+        for record in reversed(applied):
+            record.rollback()
+        raise
+    return applied
+
+
+def _deep_copy(node: Node) -> Node:
+    """Copy a detached content tree so operations can be re-applied."""
+    from repro.xtree.node import Text
+    if isinstance(node, Text):
+        return Text(node.value)
+    assert isinstance(node, Element)
+    copy = Element(node.tag, dict(node.attributes))
+    for child in node.children:
+        copy.append(_deep_copy(child))
+    return copy

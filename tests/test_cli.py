@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.running_example import (
+    CONFLICT_OF_INTEREST,
+    PUB_DTD,
+    REV_DTD,
+    submission_xupdate,
+)
+from tests.conftest import PUB_XML, REV_XML
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = {}
+    for name, content in [
+            ("pub.dtd", PUB_DTD), ("rev.dtd", REV_DTD),
+            ("pub.xml", PUB_XML), ("rev.xml", REV_XML),
+            ("constraints.txt",
+             "# conflict of interest\n"
+             + " ".join(CONFLICT_OF_INTEREST.split()) + "\n"),
+            ("pattern.xml", submission_xupdate(1, 1, "x", "y")),
+            ("legal.xml", submission_xupdate(1, 2, "New", "Someone")),
+            ("illegal.xml", submission_xupdate(1, 1, "Bad", "Alice")),
+    ]:
+        path = tmp_path / name
+        path.write_text(content, encoding="utf-8")
+        paths[name] = str(path)
+    return paths
+
+
+def schema_args(files):
+    return ["--dtd", files["pub.dtd"], "--dtd", files["rev.dtd"],
+            "--constraints-file", files["constraints.txt"]]
+
+
+class TestDescribe:
+    def test_prints_artifacts(self, files, capsys):
+        code = main(["describe", *schema_args(files),
+                     "--pattern", files["pattern.xml"]])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "rev(id, pos, parent, name)" in output
+        assert "← rev(Ir,_,_,R)" in output
+        assert "{sub(is,ps,ir,t), auts(ia,pa,is,n)}" in output
+
+
+class TestCheck:
+    def test_consistent_documents(self, files, capsys):
+        code = main(["check", *schema_args(files),
+                     files["pub.xml"], files["rev.xml"]])
+        assert code == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_inconsistent_documents(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad_rev.xml"
+        bad.write_text(REV_XML.replace(
+            "<auts><name>Erin</name></auts>",
+            "<auts><name>Alice</name></auts>", 1), encoding="utf-8")
+        code = main(["check", *schema_args(files),
+                     files["pub.xml"], str(bad)])
+        assert code == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+
+class TestGuard:
+    def test_legal_update(self, files, capsys):
+        code = main(["guard", *schema_args(files),
+                     "--pattern", files["pattern.xml"],
+                     "--update", files["legal.xml"],
+                     files["pub.xml"], files["rev.xml"]])
+        assert code == 0
+        assert "optimized pre-check" in capsys.readouterr().out
+
+    def test_illegal_update(self, files, capsys):
+        code = main(["guard", *schema_args(files),
+                     "--pattern", files["pattern.xml"],
+                     "--update", files["illegal.xml"],
+                     files["pub.xml"], files["rev.xml"]])
+        assert code == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_in_place_writes_documents(self, files, capsys):
+        code = main(["guard", *schema_args(files),
+                     "--pattern", files["pattern.xml"],
+                     "--update", files["legal.xml"], "--in-place",
+                     files["pub.xml"], files["rev.xml"]])
+        assert code == 0
+        from pathlib import Path
+        assert "New" in Path(files["rev.xml"]).read_text()
+
+
+class TestShred:
+    def test_prints_facts(self, files, capsys):
+        code = main(["shred", "--dtd", files["rev.dtd"],
+                     files["rev.xml"]])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "'Alice'" in output
+        assert output.count("sub(") == 4
+
+
+class TestQuery:
+    def test_evaluates_expression(self, files, capsys):
+        code = main(["query", "count(//sub)", files["rev.xml"]])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_prints_elements_as_xml(self, files, capsys):
+        code = main(["query", "//rev[1]/name", files["rev.xml"]])
+        assert code == 0
+        assert "<name>Alice</name>" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_constraints(self, files):
+        with pytest.raises(SystemExit):
+            main(["describe", "--dtd", files["pub.dtd"]])
+
+    def test_repro_error_reported(self, files, tmp_path, capsys):
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<unclosed>", encoding="utf-8")
+        code = main(["query", "count(//a)", str(broken)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

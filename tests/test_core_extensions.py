@@ -1,0 +1,73 @@
+"""Tests for guard listeners and violation witnesses."""
+
+import pytest
+
+from repro.core import BruteForceChecker, DatalogChecker, IntegrityGuard
+from repro.datagen.running_example import submission_xupdate
+
+
+class TestListeners:
+    def test_guard_notifies_on_accept_and_reject(self, constraint_schema,
+                                                 documents):
+        guard = IntegrityGuard(constraint_schema, documents)
+        events = []
+        guard.subscribe(lambda update, decision:
+                        events.append(decision.legal))
+        guard.try_execute(submission_xupdate(1, 1, "Ok", "Someone"))
+        guard.try_execute(submission_xupdate(1, 1, "Bad", "Alice"))
+        assert events == [True, False]
+
+    def test_brute_force_notifies(self, constraint_schema, documents):
+        checker = BruteForceChecker(constraint_schema, documents)
+        events = []
+        checker.subscribe(lambda update, decision:
+                          events.append(decision.rolled_back))
+        checker.try_execute(submission_xupdate(1, 1, "Bad", "Alice"))
+        assert events == [True]
+
+    def test_multiple_listeners_in_order(self, constraint_schema,
+                                         documents):
+        guard = IntegrityGuard(constraint_schema, documents)
+        order = []
+        guard.subscribe(lambda *_: order.append("first"))
+        guard.subscribe(lambda *_: order.append("second"))
+        guard.try_execute(submission_xupdate(1, 1, "Ok", "Someone"))
+        assert order == ["first", "second"]
+
+
+class TestViolationWitnesses:
+    def test_consistent_state_has_no_witnesses(self, constraint_schema,
+                                               documents):
+        checker = DatalogChecker(constraint_schema, documents)
+        assert checker.violation_witnesses() == {}
+
+    def test_witness_names_the_conflict(self, constraint_schema,
+                                        documents):
+        from repro.xupdate import apply_text
+        applied = apply_text(documents[1],
+                             submission_xupdate(1, 1, "Bad", "Alice"))
+        checker = DatalogChecker(constraint_schema, documents)
+        checker.mirror_insert(applied[0].inserted[0])
+        witnesses = checker.violation_witnesses()
+        assert "conflict_of_interest" in witnesses
+        first = witnesses["conflict_of_interest"][0]
+        assert first.get("R") == "Alice"
+
+    def test_limit_respected(self, constraint_schema, documents):
+        from repro.xupdate import apply_text
+        for _ in range(3):
+            applied = apply_text(
+                documents[1], submission_xupdate(1, 1, "Bad", "Alice"))
+        checker = DatalogChecker(constraint_schema, documents)
+        witnesses = checker.violation_witnesses(limit_per_constraint=2)
+        assert len(witnesses["conflict_of_interest"]) <= 2
+
+    def test_witnesses_drop_internal_variables(self, constraint_schema,
+                                               documents):
+        from repro.xupdate import apply_text
+        apply_text(documents[1], submission_xupdate(1, 1, "Bad", "Alice"))
+        checker = DatalogChecker(constraint_schema, documents)
+        for witness_list in checker.violation_witnesses().values():
+            for witness in witness_list:
+                assert all("#" not in name and not name.startswith("_")
+                           for name in witness)

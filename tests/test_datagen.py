@@ -1,0 +1,99 @@
+"""Unit tests for the corpus and workload generators."""
+
+import random
+
+import pytest
+
+from repro.core import BruteForceChecker
+from repro.datagen import (
+    CorpusSpec,
+    busy_reviewer_targets,
+    corpus_size_bytes,
+    generate_corpus,
+    illegal_submission,
+    legal_submission,
+    spec_for_size,
+)
+from repro.datagen.running_example import make_schema
+from repro.xtree import parse_dtd, validate
+from repro.datagen.running_example import PUB_DTD, REV_DTD
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        spec = CorpusSpec(seed=5)
+        first = corpus_size_bytes(generate_corpus(spec))
+        second = corpus_size_bytes(generate_corpus(spec))
+        assert first == second
+
+    def test_documents_are_valid(self):
+        pub_doc, rev_doc = generate_corpus(CorpusSpec())
+        validate(pub_doc, parse_dtd(PUB_DTD))
+        validate(rev_doc, parse_dtd(REV_DTD))
+
+    def test_corpus_is_consistent(self, constraint_schema):
+        documents = list(generate_corpus(CorpusSpec(seed=11)))
+        checker = BruteForceChecker(constraint_schema, documents)
+        assert checker.check_only() == []
+
+    def test_busy_reviewers_present(self):
+        _, rev_doc = generate_corpus(CorpusSpec(busy_reviewers=2))
+        targets = busy_reviewer_targets(rev_doc)
+        names = {name for _, _, name in targets}
+        assert names == {"Busy Reviewer 1", "Busy Reviewer 2"}
+        assert len(targets) == 6  # 2 reviewers × 3 tracks
+
+    def test_busy_reviewers_at_threshold(self):
+        _, rev_doc = generate_corpus(CorpusSpec(busy_reviewers=1))
+        subs = 0
+        for track in rev_doc.root.element_children("track"):
+            for rev in track.element_children("rev"):
+                if rev.first_child("name").text() == "Busy Reviewer 1":
+                    subs += len(rev.element_children("sub"))
+        assert subs == 10
+
+    def test_scaled_spec_grows(self):
+        base = CorpusSpec()
+        bigger = base.scaled(2.0)
+        assert bigger.revs_per_track == 2 * base.revs_per_track
+
+    def test_spec_for_size_hits_target(self):
+        target = 150_000
+        spec = spec_for_size(target)
+        size = corpus_size_bytes(generate_corpus(spec))
+        assert 0.5 * target <= size <= 2.0 * target
+
+
+class TestWorkload:
+    def test_legal_update_is_legal(self, constraint_schema):
+        documents = list(generate_corpus(CorpusSpec(seed=3)))
+        checker = BruteForceChecker(constraint_schema, documents)
+        rng = random.Random(1)
+        for _ in range(3):
+            decision = checker.try_execute(
+                legal_submission(documents[1], rng))
+            assert decision.legal
+
+    @pytest.mark.parametrize("kind, constraint", [
+        ("conflict", "conflict_of_interest"),
+        ("workload", "conference_workload"),
+    ])
+    def test_illegal_update_violates_expected_constraint(
+            self, constraint_schema, kind, constraint):
+        documents = list(generate_corpus(CorpusSpec(seed=4)))
+        checker = BruteForceChecker(constraint_schema, documents)
+        rng = random.Random(2)
+        decision = checker.try_execute(
+            illegal_submission(documents[1], rng, kind))
+        assert not decision.legal
+        assert constraint in decision.violated
+
+    def test_workload_without_busy_reviewers_rejected(self):
+        _, rev_doc = generate_corpus(CorpusSpec(busy_reviewers=0))
+        with pytest.raises(ValueError):
+            illegal_submission(rev_doc, random.Random(0), "workload")
+
+    def test_unknown_kind_rejected(self):
+        _, rev_doc = generate_corpus(CorpusSpec())
+        with pytest.raises(ValueError):
+            illegal_submission(rev_doc, random.Random(0), "nonsense")

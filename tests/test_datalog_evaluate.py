@@ -1,0 +1,213 @@
+"""Unit tests for the fact database and the denial evaluator."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    FactDatabase,
+    Parameter as P,
+    Variable as V,
+    denial_holds,
+    denial_violations,
+)
+from repro.errors import DatalogEvaluationError
+
+
+@pytest.fixture()
+def review_db():
+    db = FactDatabase()
+    db.add("track", (1, 1, 0, "DB"))
+    db.add("track", (2, 2, 0, "IR"))
+    db.add("rev", (10, 2, 1, "Alice"))
+    db.add("rev", (11, 3, 1, "Bob"))
+    db.add("rev", (12, 2, 2, "Alice"))
+    for index in range(3):
+        db.add("sub", (20 + index, index + 2, 10, f"T{index}"))
+    db.add("sub", (30, 2, 11, "S0"))
+    return db
+
+
+class TestFactDatabase:
+    def test_add_and_rows(self, review_db):
+        assert review_db.count("rev") == 3
+        assert review_db.contains("rev", (10, 2, 1, "Alice"))
+
+    def test_lookup_by_column(self, review_db):
+        rows = list(review_db.lookup("rev", {3: "Alice"}))
+        assert {row[0] for row in rows} == {10, 12}
+
+    def test_lookup_multiple_columns(self, review_db):
+        rows = list(review_db.lookup("rev", {2: 1, 3: "Alice"}))
+        assert [row[0] for row in rows] == [10]
+
+    def test_lookup_unknown_predicate(self, review_db):
+        assert list(review_db.lookup("nope", {0: 1})) == []
+
+    def test_index_maintained_after_add(self, review_db):
+        list(review_db.lookup("rev", {3: "Alice"}))  # build index
+        review_db.add("rev", (13, 4, 2, "Alice"))
+        rows = list(review_db.lookup("rev", {3: "Alice"}))
+        assert {row[0] for row in rows} == {10, 12, 13}
+
+    def test_remove_updates_index(self, review_db):
+        list(review_db.lookup("rev", {3: "Alice"}))
+        assert review_db.remove("rev", (10, 2, 1, "Alice"))
+        rows = list(review_db.lookup("rev", {3: "Alice"}))
+        assert {row[0] for row in rows} == {12}
+
+    def test_remove_missing_returns_false(self, review_db):
+        assert not review_db.remove("rev", (99, 9, 9, "Nobody"))
+
+    def test_total_facts(self, review_db):
+        assert review_db.total_facts() == 9
+
+
+class TestConjunctiveEvaluation:
+    def test_join_through_parent(self, review_db):
+        # reviewers with at least one sub
+        denial = Denial((
+            Atom("rev", (V("I"), V("A"), V("B"), V("R"))),
+            Atom("sub", (V("S"), V("C"), V("I"), V("T"))),
+        ))
+        names = {s[V("R")].value for s in denial_violations(denial,
+                                                            review_db)}
+        assert names == {"Alice", "Bob"}
+
+    def test_constants_filter(self, review_db):
+        denial = Denial((Atom("rev", (V("I"), V("A"), V("B"), C("Bob"))),))
+        assert len(denial_violations(denial, review_db)) == 1
+
+    def test_comparison_pruning(self, review_db):
+        denial = Denial((
+            Atom("rev", (V("I"), V("Pos"), V("B"), V("R"))),
+            Comparison("gt", V("Pos"), C(2)),
+        ))
+        violations = denial_violations(denial, review_db)
+        assert [s[V("I")].value for s in violations] == [11]
+
+    def test_equality_can_bind(self, review_db):
+        denial = Denial((
+            Comparison("eq", V("R"), C("Alice")),
+            Atom("rev", (V("I"), V("A"), V("B"), V("R"))),
+        ))
+        assert len(denial_violations(denial, review_db)) == 2
+
+    def test_limit_stops_early(self, review_db):
+        denial = Denial((Atom("rev", (V("I"), V("A"), V("B"), V("R"))),))
+        assert len(denial_violations(denial, review_db, limit=1)) == 1
+
+    def test_holds(self, review_db):
+        ok = Denial((Atom("rev", (V("I"), V("A"), V("B"), C("Zoe"))),))
+        assert denial_holds(ok, review_db)
+
+    def test_same_variable_twice_in_atom(self, review_db):
+        db = FactDatabase()
+        db.add("p", (1, 1))
+        db.add("p", (1, 2))
+        denial = Denial((Atom("p", (V("X"), V("X"))),))
+        assert len(denial_violations(denial, db)) == 1
+
+    def test_unbound_parameter_rejected(self, review_db):
+        denial = Denial((Atom("rev", (P("ir"), V("A"), V("B"), V("R"))),))
+        with pytest.raises(DatalogEvaluationError):
+            denial_violations(denial, review_db)
+
+    def test_unsafe_comparison_rejected(self, review_db):
+        denial = Denial((Comparison("ne", V("X"), V("Y")),))
+        with pytest.raises(DatalogEvaluationError):
+            denial_violations(denial, review_db)
+
+    def test_mixed_type_comparison_is_false_not_error(self, review_db):
+        denial = Denial((
+            Atom("rev", (V("I"), V("A"), V("B"), V("R"))),
+            Comparison("lt", V("R"), C(5)),  # name < number
+        ))
+        assert denial_holds(denial, review_db)
+
+
+class TestAggregateEvaluation:
+    def _count_subs(self, parent, distinct=True, op="gt", bound=2):
+        aggregate = Aggregate("cnt", distinct, None, (),
+                              (Atom("sub", (V("S"), V("C"), parent,
+                                            V("T"))),))
+        return AggregateCondition(aggregate, op, C(bound))
+
+    def test_pinned_group_count(self, review_db):
+        denial = Denial((
+            Atom("rev", (V("I"), V("A"), V("B"), V("R"))),
+            self._count_subs(V("I")),
+        ))
+        violations = denial_violations(denial, review_db)
+        assert [s[V("R")].value for s in violations] == ["Alice"]
+
+    def test_zero_count_group(self, review_db):
+        denial = Denial((
+            Atom("rev", (V("I"), V("A"), V("B"), C("Alice"))),
+            Atom("track", (V("B"), V("D"), V("E"), C("IR"))),
+            self._count_subs(V("I"), op="lt", bound=1),
+        ))
+        # Alice in IR has no subs: count 0 < 1 → violation
+        assert not denial_holds(denial, review_db)
+
+    def test_group_by_enumeration(self, review_db):
+        aggregate = Aggregate(
+            "cnt", True, V("I"), (V("R"),),
+            (Atom("rev", (V("I"), V("A"), V("B"), V("R"))),))
+        denial = Denial((AggregateCondition(aggregate, "ge", C(2)),))
+        violations = denial_violations(denial, review_db)
+        assert [s[V("R")].value for s in violations] == ["Alice"]
+
+    def test_two_correlated_aggregates(self, review_db):
+        tracks = Aggregate(
+            "cnt", True, V("It"), (V("R"),),
+            (Atom("rev", (V("Iv"), V("A"), V("It"), V("R"))),))
+        subs = Aggregate(
+            "cnt", True, V("Is"), (V("R"),),
+            (Atom("rev", (V("I2"), V("B"), V("C"), V("R"))),
+             Atom("sub", (V("Is"), V("D"), V("I2"), V("T"))),))
+        denial = Denial((
+            AggregateCondition(tracks, "ge", C(2)),
+            AggregateCondition(subs, "gt", C(2)),
+        ))
+        violations = denial_violations(denial, review_db)
+        assert [s[V("R")].value for s in violations] == ["Alice"]
+
+    def test_sum_aggregate(self):
+        db = FactDatabase()
+        db.add("sale", (1, "east", 10))
+        db.add("sale", (2, "east", 20))
+        db.add("sale", (3, "west", 5))
+        aggregate = Aggregate(
+            "sum", False, V("Amount"), (V("Region"),),
+            (Atom("sale", (V("Id"), V("Region"), V("Amount"))),))
+        denial = Denial((AggregateCondition(aggregate, "gt", C(25)),))
+        violations = denial_violations(denial, db)
+        assert [s[V("Region")].value for s in violations] == ["east"]
+
+    def test_distinct_value_count(self):
+        db = FactDatabase()
+        db.add("aut", (1, 1, 1, "Ann"))
+        db.add("aut", (2, 2, 1, "Ann"))
+        db.add("aut", (3, 3, 1, "Ben"))
+        aggregate = Aggregate(
+            "cnt", True, V("N"), (),
+            (Atom("aut", (V("I"), V("P"), V("Q"), V("N"))),))
+        denial = Denial((AggregateCondition(aggregate, "gt", C(2)),))
+        assert denial_holds(denial, db)  # only 2 distinct names
+
+    def test_max_min_avg(self):
+        db = FactDatabase()
+        for index, value in enumerate([3, 9, 6]):
+            db.add("m", (index, value))
+        for func, op, bound, violated in [
+                ("max", "gt", 8, True), ("min", "lt", 2, False),
+                ("avg", "ge", 6, True)]:
+            aggregate = Aggregate(func, False, V("X"), (),
+                                  (Atom("m", (V("I"), V("X"))),))
+            denial = Denial((AggregateCondition(aggregate, op, C(bound)),))
+            assert (not denial_holds(denial, db)) is violated

@@ -1,0 +1,222 @@
+"""Unit tests for terms, literals, substitutions and unification."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Arithmetic,
+    Atom,
+    Comparison,
+    Constant,
+    Denial,
+    Parameter,
+    Substitution,
+    Variable,
+    fresh_variable,
+    is_anonymous,
+    match_terms,
+    negate_comparison,
+    unify_atoms,
+    unify_terms,
+)
+from repro.datalog.atoms import comparison_truth
+from repro.datalog.terms import evaluate_arithmetic
+
+V, C, P = Variable, Constant, Parameter
+
+
+class TestTerms:
+    def test_constant_rendering(self):
+        assert str(C("x")) == '"x"'
+        assert str(C(3)) == "3"
+        assert str(C(None)) == "null"
+
+    def test_anonymous_variables_render_as_underscore(self):
+        assert str(V("_foo")) == "_"
+        assert str(V("X")) == "X"
+
+    def test_fresh_variables_are_unique(self):
+        names = {fresh_variable("X").name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_underscore_is_anonymous(self):
+        assert is_anonymous(fresh_variable("_"))
+
+    def test_arithmetic_folding(self):
+        term = Arithmetic("-", C(10), C(4))
+        assert evaluate_arithmetic(term) == C(6)
+
+    def test_arithmetic_with_parameter_stays_symbolic(self):
+        term = Arithmetic("-", P("c"), C(1))
+        assert evaluate_arithmetic(term) == term
+
+
+class TestComparison:
+    def test_negation(self):
+        assert negate_comparison(Comparison("eq", V("X"), C(1))).op == "ne"
+        assert negate_comparison(Comparison("lt", V("X"), C(1))).op == "ge"
+
+    def test_swapped(self):
+        swapped = Comparison("lt", V("X"), V("Y")).swapped()
+        assert swapped == Comparison("gt", V("Y"), V("X"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("like", V("X"), C(1))
+
+    @pytest.mark.parametrize("comparison, expected", [
+        (Comparison("eq", C(1), C(1)), True),
+        (Comparison("eq", C(1), C(2)), False),
+        (Comparison("ne", C("a"), C("a")), False),
+        (Comparison("lt", C(1), C(2)), True),
+        (Comparison("ge", C("b"), C("a")), True),
+        (Comparison("eq", V("X"), V("X")), True),
+        (Comparison("ne", P("t"), P("t")), False),
+        (Comparison("lt", V("X"), V("X")), False),
+        (Comparison("eq", V("X"), V("Y")), None),
+        (Comparison("eq", P("a"), P("b")), None),
+        (Comparison("eq", P("a"), C(1)), None),
+        (Comparison("lt", C("a"), C(1)), None),
+    ])
+    def test_comparison_truth(self, comparison, expected):
+        assert comparison_truth(comparison) is expected
+
+
+class TestAggregates:
+    def test_rendering(self):
+        aggregate = Aggregate("cnt", True, None, (),
+                              (Atom("sub", (V("S"), V("Q"), V("Ir"),
+                                            V("T"))),))
+        condition = AggregateCondition(aggregate, "gt", C(4))
+        assert str(condition) == "CntD(sub(S,Q,Ir,T)) > 4"
+
+    def test_group_by_rendering(self):
+        aggregate = Aggregate("cnt", True, V("It"), (V("R"),),
+                              (Atom("track", (V("It"), V("A"), V("B"),
+                                              V("N"))),))
+        assert "[R]" in str(aggregate)
+
+    def test_sum_requires_term(self):
+        with pytest.raises(ValueError):
+            Aggregate("sum", False, None, (), ())
+
+    def test_local_variables(self):
+        aggregate = Aggregate("cnt", True, V("Is"), (V("R"),),
+                              (Atom("sub", (V("Is"), V("Q"), V("Ir"),
+                                            V("T"))),))
+        locals_ = aggregate.local_variables()
+        assert V("R") not in locals_
+        assert V("Is") in locals_ and V("Ir") in locals_
+
+
+class TestSubstitution:
+    def test_apply_to_atom(self):
+        theta = Substitution({V("X"): C(1)})
+        atom = Atom("p", (V("X"), V("Y")))
+        assert theta.apply_atom(atom) == Atom("p", (C(1), V("Y")))
+
+    def test_bind_keeps_solved_form(self):
+        theta = Substitution({V("X"): V("Y")})
+        theta = theta.bind(V("Y"), C(5))
+        assert theta.apply_term(V("X")) == C(5)
+
+    def test_compose(self):
+        first = Substitution({V("X"): V("Y")})
+        second = Substitution({V("Y"): C(1)})
+        composed = first.compose(second)
+        assert composed.apply_term(V("X")) == C(1)
+        assert composed.apply_term(V("Y")) == C(1)
+
+    def test_restricted(self):
+        theta = Substitution({V("X"): C(1), V("Y"): C(2)})
+        restricted = theta.restricted({V("X")})
+        assert V("X") in restricted and V("Y") not in restricted
+
+    def test_apply_folds_arithmetic(self):
+        theta = Substitution({V("X"): C(3)})
+        term = Arithmetic("+", V("X"), C(4))
+        assert theta.apply_term(term) == C(7)
+
+
+class TestUnify:
+    def test_variable_binds_constant(self):
+        theta = unify_terms(V("X"), C(1))
+        assert theta is not None and theta[V("X")] == C(1)
+
+    def test_parameter_is_rigid(self):
+        assert unify_terms(P("a"), P("b")) is None
+        assert unify_terms(P("a"), C(1)) is None
+        assert unify_terms(P("a"), P("a")) is not None
+
+    def test_variable_binds_parameter(self):
+        theta = unify_terms(V("X"), P("a"))
+        assert theta is not None and theta[V("X")] == P("a")
+
+    def test_atom_unification(self):
+        theta = unify_atoms(Atom("p", (V("X"), C(1))),
+                            Atom("p", (C(2), V("Y"))))
+        assert theta is not None
+        assert theta[V("X")] == C(2) and theta[V("Y")] == C(1)
+
+    def test_atom_mismatch(self):
+        assert unify_atoms(Atom("p", (V("X"),)),
+                           Atom("q", (V("X"),))) is None
+        assert unify_atoms(Atom("p", (V("X"),)),
+                           Atom("p", (V("X"), V("Y")))) is None
+
+    def test_repeated_variable_consistency(self):
+        theta = unify_atoms(Atom("p", (V("X"), V("X"))),
+                            Atom("p", (C(1), C(2))))
+        assert theta is None
+
+
+class TestMatch:
+    def test_one_way_matching_binds_pattern_only(self):
+        theta = match_terms(V("X"), C(1))
+        assert theta is not None
+
+    def test_bindable_restriction(self):
+        # Y is a target variable flowing into the image: must not bind
+        theta = match_terms(V("X"), V("Y"), bindable={V("X")})
+        assert theta is not None
+        followup = match_terms(V("Y"), C(1), theta, bindable={V("X")})
+        assert followup is None
+
+
+class TestDenial:
+    def test_requires_nonempty_body(self):
+        with pytest.raises(ValueError):
+            Denial(())
+
+    def test_variables_and_parameters(self):
+        denial = Denial((Atom("p", (V("X"), P("a"))),
+                         Comparison("ne", V("X"), V("Y"))))
+        assert denial.variables() == {V("X"), V("Y")}
+        assert denial.parameters() == {P("a")}
+
+    def test_rename_apart_preserves_shape(self):
+        denial = Denial((Atom("p", (V("X"), V("Y"))),
+                         Comparison("ne", V("X"), V("Y"))))
+        renamed = denial.rename_apart()
+        assert renamed.variables().isdisjoint(denial.variables())
+        assert denial.equivalent_to(renamed)
+
+    def test_deduplicated(self):
+        atom = Atom("p", (V("X"),))
+        assert Denial((atom, atom)).deduplicated() == Denial((atom,))
+
+    def test_display_names_shared_anonymous_joins(self):
+        shared = fresh_variable("_")
+        denial = Denial((Atom("p", (shared, V("X"))),
+                         Atom("q", (shared,))))
+        text = str(denial)
+        assert "X1" in text and text.count("X1") == 2
+
+    def test_predicates_includes_aggregate_bodies(self):
+        aggregate = Aggregate("cnt", False, None, (),
+                              (Atom("sub", (V("S"), V("Q"), V("I"),
+                                            V("T"))),))
+        denial = Denial((Atom("rev", (V("I"), V("A"), V("B"), V("R"))),
+                        AggregateCondition(aggregate, "gt", C(1))))
+        assert denial.predicates() == {"rev", "sub"}

@@ -1,0 +1,147 @@
+"""Unit tests for θ-subsumption (the Optimize workhorse)."""
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    Parameter as P,
+    Variable as V,
+    subsumes,
+)
+
+
+def denial(*literals):
+    return Denial(tuple(literals))
+
+
+class TestAtomSubsumption:
+    def test_identical(self):
+        d = denial(Atom("p", (V("X"),)))
+        assert subsumes(d, d)
+
+    def test_more_general_subsumes_instance(self):
+        general = denial(Atom("p", (V("X"), V("Y"))))
+        specific = denial(Atom("p", (C(1), V("Z"))))
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_subset_body_subsumes_superset(self):
+        general = denial(Atom("p", (V("X"),)))
+        specific = denial(Atom("p", (V("A"),)), Atom("q", (V("A"),)))
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_freshness_hypothesis_kills_matching_denial(self):
+        # Δ: ← sub(is,_,_,_) subsumes ← rev(X,...) ∧ sub(is,_,X,_)
+        delta = denial(Atom("sub", (P("is"), V("_1"), V("_2"), V("_3"))))
+        target = denial(
+            Atom("rev", (V("X"), V("_a"), V("_b"), V("R"))),
+            Atom("sub", (P("is"), V("_c"), V("X"), V("_d"))))
+        assert subsumes(delta, target)
+
+    def test_different_parameters_do_not_match(self):
+        delta = denial(Atom("sub", (P("is"), V("_1"), V("_2"), V("_3"))))
+        target = denial(Atom("sub", (P("other"), V("_c"), V("X"), V("_d"))))
+        assert not subsumes(delta, target)
+
+    def test_variable_cannot_collapse_two_target_constants(self):
+        general = denial(Atom("p", (V("X"), V("X"))))
+        specific = denial(Atom("p", (C(1), C(2))))
+        assert not subsumes(general, specific)
+        assert subsumes(general, denial(Atom("p", (C(1), C(1)))))
+
+
+class TestComparisonSubsumption:
+    def test_target_variables_are_rigid(self):
+        # the regression behind example 5: ← p(X,Y) ∧ p(X,Z) ∧ Y≠Z must
+        # NOT subsume ← p(i,Y) ∧ Y≠t
+        general = denial(
+            Atom("p", (V("X"), V("Y"))),
+            Atom("p", (V("X"), V("Z"))),
+            Comparison("ne", V("Y"), V("Z")))
+        specific = denial(
+            Atom("p", (P("i"), V("Y"))),
+            Comparison("ne", V("Y"), P("t")))
+        assert not subsumes(general, specific)
+
+    def test_symmetric_comparison_matches_swapped(self):
+        general = denial(Atom("p", (V("X"),)),
+                         Comparison("ne", V("X"), C(1)))
+        specific = denial(Atom("p", (V("A"),)),
+                          Comparison("ne", C(1), V("A")))
+        assert subsumes(general, specific)
+
+    def test_ordering_comparison_matches_swapped_operator(self):
+        general = denial(Atom("p", (V("X"),)),
+                         Comparison("lt", V("X"), C(5)))
+        specific = denial(Atom("p", (V("A"),)),
+                          Comparison("gt", C(5), V("A")))
+        assert subsumes(general, specific)
+
+    def test_implication_eq_implies_le(self):
+        general = denial(Atom("p", (V("X"),)),
+                         Comparison("le", V("X"), C(5)))
+        specific = denial(Atom("p", (V("A"),)),
+                          Comparison("eq", V("A"), C(5)))
+        assert subsumes(general, specific)
+
+    def test_lt_implies_ne(self):
+        general = denial(Atom("p", (V("X"), V("Y"))),
+                         Comparison("ne", V("X"), V("Y")))
+        specific = denial(Atom("p", (V("A"), V("B"))),
+                          Comparison("lt", V("A"), V("B")))
+        assert subsumes(general, specific)
+
+    def test_le_does_not_imply_lt(self):
+        general = denial(Atom("p", (V("X"),)),
+                         Comparison("lt", V("X"), C(5)))
+        specific = denial(Atom("p", (V("A"),)),
+                          Comparison("le", V("A"), C(5)))
+        assert not subsumes(general, specific)
+
+
+class TestAggregateSubsumption:
+    def _agg(self, bound, op="gt", parent=None):
+        parent = parent if parent is not None else V("Ir")
+        aggregate = Aggregate("cnt", True, None, (),
+                              (Atom("sub", (V("S"), V("Q"), parent,
+                                            V("T"))),))
+        return AggregateCondition(aggregate, op, C(bound))
+
+    def test_identical_aggregates(self):
+        d1 = denial(Atom("rev", (V("Ir"), V("A"), V("B"), V("R"))),
+                    self._agg(4))
+        assert subsumes(d1, d1)
+
+    def test_weaker_bound_subsumes_stronger(self):
+        # holds(Cnt > 3) implies holds(Cnt > 4) is wrong; the right
+        # direction: a *check* with bound 4 is implied by one with
+        # bound 3 — target Cnt > 4 implies pattern Cnt > 3.
+        low = denial(Atom("rev", (V("Ir"), V("A"), V("B"), V("R"))),
+                     self._agg(3))
+        high = denial(Atom("rev", (V("Ir"), V("A"), V("B"), V("R"))),
+                      self._agg(4))
+        assert subsumes(low, high)
+        assert not subsumes(high, low)
+
+    def test_instantiated_group_is_more_specific(self):
+        general = denial(Atom("rev", (V("Ir"), V("A"), V("B"), V("R"))),
+                         self._agg(4))
+        specific = denial(Atom("rev", (P("ir"), V("A"), V("B"), V("R"))),
+                          self._agg(4, parent=P("ir")))
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_distinct_flag_must_match(self):
+        plain = Aggregate("cnt", False, None, (),
+                          (Atom("sub", (V("S"), V("Q"), V("Ir"),
+                                        V("T"))),))
+        d1 = denial(AggregateCondition(plain, "gt", C(4)),
+                    Atom("rev", (V("Ir"), V("A"), V("B"), V("R"))))
+        d2 = denial(self._agg(4),
+                    Atom("rev", (V("Ir"), V("A"), V("B"), V("R"))))
+        assert not subsumes(d1, d2)
+        assert not subsumes(d2, d1)

@@ -1,0 +1,149 @@
+"""Corner-case tests across the engine and the update analysis,
+exercising schema shapes the running example does not have (attributes,
+element text columns, optional children)."""
+
+import pytest
+
+from repro.core import ConstraintSchema, IntegrityGuard
+from repro.relational import RelationalSchema, shred
+from repro.xquery import evaluate_query
+from repro.xquery.engine import query_truth
+from repro.xtree import parse_document, parse_dtd
+from repro.xupdate import analyze_operation, parse_modifications
+
+LOG_DTD = """
+<!ELEMENT log (entry*)>
+<!ELEMENT entry (#PCDATA)>
+<!ATTLIST entry level CDATA #REQUIRED
+                code  CDATA #IMPLIED>
+"""
+
+
+@pytest.fixture()
+def log_schema():
+    return RelationalSchema.from_dtd(parse_dtd(LOG_DTD))
+
+
+@pytest.fixture()
+def log_doc():
+    return parse_document(
+        '<log>'
+        '<entry level="info" code="1">started</entry>'
+        '<entry level="error">boom</entry>'
+        '<entry level="info">done</entry>'
+        '</log>')
+
+
+class TestAttributeAndTextColumns:
+    def test_shred_attributes_and_text(self, log_schema, log_doc):
+        db = shred(log_doc, log_schema)
+        rows = db.rows("entry")
+        assert len(rows) == 3
+        predicate = log_schema.predicate_for("entry")
+        level = predicate.attribute_index("level")
+        code = predicate.attribute_index("code")
+        text = predicate.text_index()
+        assert {row[level] for row in rows} == {"info", "error"}
+        assert sorted(str(row[code]) for row in rows) \
+            == ["1", "None", "None"]
+        assert {row[text] for row in rows} == {"started", "boom", "done"}
+
+    def test_attribute_constraint_compiles_and_evaluates(self, log_doc):
+        schema = ConstraintSchema(
+            [LOG_DTD],
+            ['<- //entry[@level = "error"]/@code -> C /\\ C = "1"'],
+            names=["no_coded_errors"])
+        query = schema.constraints[0].full_queries[0]
+        assert "@level" in query.text and "@code" in query.text
+        assert not query_truth(query.text, log_doc)
+        bad = parse_document(
+            '<log><entry level="error" code="1">x</entry></log>')
+        assert query_truth(query.text, bad)
+
+    def test_text_column_constraint(self, log_doc):
+        schema = ConstraintSchema(
+            [LOG_DTD],
+            ['<- //entry/text() -> T /\\ T = "forbidden"'],
+            names=["no_forbidden"])
+        query = schema.constraints[0].full_queries[0]
+        assert not query_truth(query.text, log_doc)
+
+    def test_pattern_with_attributes(self, log_schema):
+        update = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/log">
+            <entry level="warn" code="7">careful</entry>
+          </xupdate:append>
+        </xupdate:modifications>"""
+        operation = parse_modifications(update)[0]
+        analyzed = analyze_operation(operation, log_schema)
+        atom = analyzed.pattern.additions[0]
+        # columns: id, pos, parent, code, level, text — all but id and
+        # parent are bindable parameters
+        bindable = set(analyzed.binding_specs)
+        assert len(atom.args) == 6
+        assert len(bindable) >= 4
+
+    def test_guard_on_attribute_schema(self, log_doc):
+        schema = ConstraintSchema(
+            [LOG_DTD],
+            ['<- //entry[@level = "error"]/@code -> C /\\ C = "1"'],
+            names=["no_coded_errors"])
+        update = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/log">
+            <entry level="error" code="1">bad</entry>
+          </xupdate:append>
+        </xupdate:modifications>"""
+        schema.register_pattern(update)
+        guard = IntegrityGuard(schema, [log_doc])
+        decision = guard.try_execute(update)
+        assert not decision.legal and decision.optimized
+        ok = update.replace('code="1"', 'code="2"')
+        assert guard.try_execute(ok).legal
+
+
+class TestEngineEdgeCases:
+    def test_attribute_axis_in_query(self, log_doc):
+        values = evaluate_query('//entry[@level = "error"]/@code',
+                                log_doc)
+        assert values == []
+        values = evaluate_query('//entry/@level', log_doc)
+        assert sorted(str(v) for v in values) \
+            == ["error", "info", "info"]
+
+    def test_attribute_wildcard(self, log_doc):
+        values = evaluate_query("//entry[1]/@*", log_doc)
+        assert sorted(str(v) for v in values) == ["1", "info"]
+
+    def test_predicate_over_attribute_numeric(self, log_doc):
+        assert query_truth("//entry[@code = 1]", log_doc)
+        assert not query_truth("//entry[@code = 9]", log_doc)
+
+    def test_descendant_from_variable(self, log_doc):
+        roots = evaluate_query("/log", log_doc)
+        entries = evaluate_query("$r//entry", log_doc, {"r": roots})
+        assert len(entries) == 3
+
+    def test_nested_flwor(self, log_doc):
+        result = evaluate_query(
+            "for $l in distinct-values(//entry/@level) "
+            "return count(//entry[@level = $l])", log_doc)
+        assert sorted(result) == [1, 2]
+
+    def test_where_before_let(self, log_doc):
+        result = evaluate_query(
+            "for $e in //entry where $e/@level = 'info' "
+            "let $t := $e/text() return $t", log_doc)
+        assert [str(v.value) for v in result] == ["started", "done"]
+
+    def test_quantifier_over_attributes(self, log_doc):
+        assert query_truth(
+            "every $e in //entry satisfies exists($e/@level)", log_doc)
+        assert not query_truth(
+            "every $e in //entry satisfies exists($e/@code)", log_doc)
+
+    def test_union_across_documents(self, log_doc):
+        other = parse_document("<log><entry level='x'>z</entry></log>")
+        assert evaluate_query("count((//entry | //entry))",
+                              [log_doc, other]) == [4]

@@ -1,0 +1,104 @@
+"""Small unit tests filling coverage gaps across modules."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    Parameter as P,
+    Variable as V,
+)
+from repro.errors import (
+    IntegrityViolationError,
+    ParseError,
+    ReproError,
+    XMLParseError,
+)
+
+
+class TestErrors:
+    def test_parse_error_location_rendering(self):
+        error = ParseError("bad thing", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_hierarchy(self):
+        assert issubclass(XMLParseError, ParseError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_violation_error_lists_constraints(self):
+        error = IntegrityViolationError(["a", "b"])
+        assert error.violations == ["a", "b"]
+        assert "a, b" in str(error)
+
+
+class TestDenialHelpers:
+    def test_without_removes_first_occurrence(self):
+        atom = Atom("p", (V("X"),))
+        other = Atom("q", (V("X"),))
+        denial = Denial((atom, other))
+        assert denial.without(atom) == Denial((other,))
+
+    def test_with_literals_appends(self):
+        denial = Denial((Atom("p", (V("X"),)),))
+        extended = denial.with_literals((Comparison("eq", V("X"), C(1)),))
+        assert len(extended.body) == 2
+
+    def test_str_shows_parameters_plain(self):
+        denial = Denial((Atom("rev", (P("ir"), V("_1"), V("_2"),
+                                      P("n"))),))
+        assert str(denial) == "← rev(ir,_,_,n)"
+
+
+class TestConstraintSchemaExtras:
+    def test_optimize_constraints_removes_redundant(self):
+        from repro.core import ConstraintSchema
+        from repro.datagen.running_example import PUB_DTD, REV_DTD
+        schema = ConstraintSchema(
+            [PUB_DTD, REV_DTD],
+            [
+                # the second constraint is strictly implied by the first
+                "<- //sub",
+                '<- //sub[/title/text() -> T] /\\ T = "x"',
+            ],
+            names=["no_subs", "no_x_subs"])
+        before = sum(len(c.denials) for c in schema.constraints)
+        schema.optimize_constraints()
+        after = sum(len(c.denials) for c in schema.constraints)
+        assert after < before
+        # the weaker constraint lost its denials
+        assert schema.constraint("no_x_subs").denials == []
+
+    def test_unknown_constraint_name(self, constraint_schema):
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            constraint_schema.constraint("nope")
+
+
+class TestUpdateDecisionDefaults:
+    def test_defaults(self):
+        from repro.core import UpdateDecision
+        decision = UpdateDecision(True)
+        assert decision.violated == []
+        assert decision.optimized and not decision.applied
+
+
+class TestSubstitutionParameterBinding:
+    def test_parameter_binding_leaves_unknown_parameters(self):
+        from repro.datalog.subst import ParameterBinding
+        binder = ParameterBinding({P("a"): C(1)})
+        atom = Atom("p", (P("a"), P("b")))
+        result = binder.apply_literal(atom)
+        assert result == Atom("p", (C(1), P("b")))
+
+    def test_parameter_binding_folds_arithmetic(self):
+        from repro.datalog.subst import ParameterBinding
+        from repro.datalog.terms import Arithmetic
+        binder = ParameterBinding({P("c"): C(10)})
+        literal = Comparison("gt", V("X"), Arithmetic("-", P("c"), C(1)))
+        result = binder.apply_literal(literal)
+        assert result.right == C(9)

@@ -1,0 +1,77 @@
+"""Property-based tests for DTD content-model matching.
+
+The validator compiles content models to epsilon-NFAs; the oracle here
+is an independently derived Python ``re`` pattern over a tag alphabet.
+Any disagreement on a random child sequence is a bug in one of the two
+compilations — almost certainly the NFA.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xtree.dtd import (
+    ChoiceParticle,
+    ContentModel,
+    NameParticle,
+    SequenceParticle,
+    _compile_nfa,
+)
+
+TAGS = ["a", "b", "c"]
+
+
+def models(depth: int):
+    leaf = st.builds(NameParticle, st.sampled_from(TAGS),
+                     st.sampled_from(["", "?", "*", "+"]))
+    if depth == 0:
+        return leaf
+    inner = models(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(lambda items, occurs: SequenceParticle(tuple(items),
+                                                         occurs),
+                  st.lists(inner, min_size=1, max_size=3),
+                  st.sampled_from(["", "?", "*", "+"])),
+        st.builds(lambda items, occurs: ChoiceParticle(tuple(items),
+                                                       occurs),
+                  st.lists(inner, min_size=1, max_size=3),
+                  st.sampled_from(["", "?", "*", "+"])),
+    )
+
+
+def to_regex(model: ContentModel) -> str:
+    """Independent compilation of a content model to a regex.
+
+    Each tag is one character of the alphabet (tags are single letters
+    here), so a child sequence is just the concatenated tag string.
+    """
+    if isinstance(model, NameParticle):
+        return model.name + model.occurs
+    if isinstance(model, SequenceParticle):
+        inner = "".join(to_regex(item) for item in model.items)
+        return f"(?:{inner}){model.occurs}"
+    if isinstance(model, ChoiceParticle):
+        inner = "|".join(to_regex(item) for item in model.items)
+        return f"(?:{inner}){model.occurs}"
+    raise TypeError(model)
+
+
+class TestNFAAgainstRegexOracle:
+    @given(models(2), st.lists(st.sampled_from(TAGS), max_size=6))
+    @settings(max_examples=400, deadline=None)
+    def test_agreement(self, model, children):
+        nfa = _compile_nfa(model)
+        pattern = re.compile(to_regex(model) + r"\Z")
+        expected = pattern.match("".join(children)) is not None
+        assert nfa.matches(children) is expected
+
+    @given(models(2))
+    @settings(max_examples=100, deadline=None)
+    def test_optional_star_accept_empty(self, model):
+        nfa = _compile_nfa(model)
+        pattern = re.compile(to_regex(model) + r"\Z")
+        expected = pattern.match("") is not None
+        assert nfa.matches([]) is expected

@@ -1,0 +1,122 @@
+"""Differential testing: the XQuery engine against the Datalog evaluator.
+
+Both engines implement the same semantics for translated constraints
+(section 6 claims the translation preserves meaning); any disagreement
+on a random corpus is a bug in one of them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DatalogChecker
+from repro.datagen import CorpusSpec, generate_corpus
+from repro.datagen.running_example import make_schema, submission_xupdate
+from repro.xquery.engine import query_truth
+from repro.xtree.node import Document, Element, Text
+
+
+SCHEMA = make_schema()
+
+
+def _text_el(tag, value):
+    element = Element(tag)
+    element.append(Text(value))
+    return element
+
+
+@st.composite
+def random_corpora(draw):
+    """Small random corpora, *not* guaranteed consistent — disagreement
+    hunting needs violating states too."""
+    names = ["Ann", "Bob", "Cid"]
+    review = Element("review")
+    for track_index in range(draw(st.integers(1, 2))):
+        track = Element("track")
+        track.append(_text_el("name", f"T{track_index}"))
+        for _ in range(draw(st.integers(1, 2))):
+            rev = Element("rev")
+            rev.append(_text_el("name", draw(st.sampled_from(names))))
+            for _ in range(draw(st.integers(1, 3))):
+                sub = Element("sub")
+                sub.append(_text_el("title", "S"))
+                for _ in range(draw(st.integers(1, 2))):
+                    auts = Element("auts")
+                    auts.append(_text_el(
+                        "name", draw(st.sampled_from(names))))
+                    sub.append(auts)
+                rev.append(sub)
+            track.append(rev)
+        review.append(track)
+    dblp = Element("dblp")
+    for _ in range(draw(st.integers(0, 3))):
+        pub = Element("pub")
+        pub.append(_text_el("title", "P"))
+        for _ in range(draw(st.integers(1, 2))):
+            aut = Element("aut")
+            aut.append(_text_el("name", draw(st.sampled_from(names))))
+            pub.append(aut)
+        dblp.append(pub)
+    return Document(dblp), Document(review)
+
+
+class TestFullConstraintAgreement:
+    @given(random_corpora())
+    @settings(max_examples=60, deadline=None)
+    def test_engines_agree_per_constraint(self, corpus):
+        pub_doc, rev_doc = corpus
+        documents = [pub_doc, rev_doc]
+        datalog = DatalogChecker(SCHEMA, documents)
+        datalog_verdict = set(datalog.violated_constraints())
+        xquery_verdict = set()
+        for constraint in SCHEMA.constraints:
+            if any(query_truth(query.text, documents)
+                   for query in constraint.full_queries):
+                xquery_verdict.add(constraint.name)
+        assert datalog_verdict == xquery_verdict
+
+
+class TestOptimizedCheckAgreement:
+    @given(random_corpora(), st.sampled_from(["Ann", "Bob", "Zoe"]),
+           st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_simplified_checks_agree(self, corpus, author, pick):
+        pub_doc, rev_doc = corpus
+        documents = [pub_doc, rev_doc]
+        revs = list(rev_doc.iter_elements("rev"))
+        target = revs[pick % len(revs)]
+        track = target.parent
+        update = submission_xupdate(
+            track.sibling_position, target.sibling_position,
+            "New", author)
+        from repro.xupdate import parse_modifications
+        from repro.xupdate.analyze import signature_of
+        operation = parse_modifications(update)[0]
+        checks = SCHEMA.checks_for(
+            signature_of(operation, SCHEMA.relational))
+        assert checks is not None
+        bindings = checks.analyzed.bind(rev_doc, operation)
+        datalog = DatalogChecker(SCHEMA, documents)
+        for check in checks.optimized:
+            xquery_violated = any(
+                query_truth(query.instantiate(bindings), documents)
+                for query in check.queries)
+            datalog_violated = datalog.check_denials(
+                check.simplified, bindings)
+            assert xquery_violated == datalog_violated
+
+
+class TestGeneratedCorpusAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_engines_agree_on_generated_corpora(self, seed):
+        spec = CorpusSpec(tracks=3, revs_per_track=3, subs_per_rev=2,
+                          pubs=15, busy_reviewers=1, seed=seed)
+        documents = list(generate_corpus(spec))
+        datalog = DatalogChecker(SCHEMA, documents)
+        assert datalog.violated_constraints() == []
+        for constraint in SCHEMA.constraints:
+            for query in constraint.full_queries:
+                assert not query_truth(query.text, documents)

@@ -1,0 +1,177 @@
+"""Property-based soundness of the simplification (Theorem 1).
+
+For any consistent database state D and any instance of the update
+pattern U: ``Simp^U_Δ(Γ)`` holds in D **iff** Γ holds in D^U.  We check
+this over randomized relational states of the running example, with the
+Datalog evaluator as semantics oracle — independently of the XQuery
+path, so the two halves of the system cross-validate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    FactDatabase,
+    Parameter as P,
+    Variable as V,
+    denial_holds,
+)
+from repro.datalog.subst import ParameterBinding
+from repro.simplify import UpdatePattern, freshness_hypotheses, simp
+
+NAMES = ["Ann", "Bob", "Cid", "Dee"]
+
+# -- randomized relational states of the running-example schema -------------
+
+
+@st.composite
+def review_states(draw):
+    """A small shredded rev.xml-like state plus a pub.xml-like state."""
+    db = FactDatabase()
+    next_id = [1]
+
+    def fresh():
+        next_id[0] += 1
+        return next_id[0]
+
+    tracks = draw(st.integers(1, 3))
+    for _ in range(tracks):
+        track_id = fresh()
+        db.add("track", (track_id, 1, 1, f"T{track_id}"))
+        for _ in range(draw(st.integers(0, 2))):
+            rev_id = fresh()
+            name = draw(st.sampled_from(NAMES))
+            db.add("rev", (rev_id, 1, track_id, name))
+            for _ in range(draw(st.integers(0, 3))):
+                sub_id = fresh()
+                db.add("sub", (sub_id, 1, rev_id, f"S{sub_id}"))
+                for _ in range(draw(st.integers(1, 2))):
+                    auts_id = fresh()
+                    db.add("auts", (auts_id, 1, sub_id,
+                                    draw(st.sampled_from(NAMES))))
+    for _ in range(draw(st.integers(0, 3))):
+        pub_id = fresh()
+        db.add("pub", (pub_id, 1, 1, f"P{pub_id}"))
+        for _ in range(draw(st.integers(1, 2))):
+            aut_id = fresh()
+            db.add("aut", (aut_id, 1, pub_id,
+                           draw(st.sampled_from(NAMES))))
+    return db, next_id[0]
+
+
+GAMMA = [
+    Denial((
+        Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+        Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+        Atom("auts", (V("_5"), V("_6"), V("Is"), V("R"))),
+    )),
+    Denial((
+        Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+        Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+        Atom("auts", (V("_5"), V("_6"), V("Is"), V("A"))),
+        Atom("aut", (V("_7"), V("_8"), V("Ip"), V("R"))),
+        Atom("aut", (V("_9"), V("_10"), V("Ip"), V("A"))),
+    )),
+    Denial((
+        Atom("rev", (V("Ir"), V("_1"), V("_2"), V("_3"))),
+        AggregateCondition(
+            Aggregate("cnt", True, None, (),
+                      (Atom("sub", (V("S1"), V("S2"), V("Ir"),
+                                    V("S3"))),)),
+            "gt", C(2)),
+    )),
+]
+
+UPDATE = UpdatePattern(
+    (Atom("sub", (P("is"), P("ps"), P("ir"), P("t"))),
+     Atom("auts", (P("ia"), P("pa"), P("is"), P("n")))),
+    frozenset({P("is"), P("ia")}))
+
+# the full Δ of example 6 (freshness of ids, childlessness of the new
+# sub); equals freshness_hypotheses(UPDATE, schema) for the running
+# example's relational schema
+DELTA = freshness_hypotheses(UPDATE) + [
+    Denial((Atom("auts", (V("_d1"), V("_d2"), P("is"), V("_d3"))),)),
+]
+
+SIMPLIFIED = simp(GAMMA, UPDATE, DELTA)
+
+
+def _instantiate(denials, values):
+    binder = ParameterBinding({P(k): C(v) for k, v in values.items()})
+    return [
+        Denial(tuple(binder.apply_literal(literal)
+                     for literal in denial.body))
+        for denial in denials
+    ]
+
+
+def _state_consistent(db):
+    return all(denial_holds(denial, db) for denial in GAMMA)
+
+
+class TestTheoremOne:
+    @given(review_states(), st.sampled_from(NAMES + ["Zoe"]))
+    @settings(max_examples=120, deadline=None)
+    def test_simp_agrees_with_post_check(self, state, author):
+        db, max_id = state
+        assume(_state_consistent(db))
+        rev_rows = db.rows("rev")
+        assume(rev_rows)
+        target = rev_rows[0]
+        values = {
+            "is": max_id + 1,
+            "ia": max_id + 2,
+            "ir": target[0],
+            "ps": 9,
+            "pa": 2,
+            "t": "NewSub",
+            "n": author,
+        }
+        # optimized verdict: simplified checks evaluated BEFORE the update
+        optimized_ok = all(
+            denial_holds(denial, db)
+            for denial in _instantiate(SIMPLIFIED, values))
+        # ground truth: apply the update, evaluate the full constraints
+        db.add("sub", (values["is"], values["ps"], values["ir"],
+                       values["t"]))
+        db.add("auts", (values["ia"], values["pa"], values["is"],
+                        values["n"]))
+        ground_truth_ok = _state_consistent(db)
+        assert optimized_ok == ground_truth_ok
+
+    @given(review_states())
+    @settings(max_examples=60, deadline=None)
+    def test_delta_holds_for_fresh_ids(self, state):
+        db, max_id = state
+        values = {"is": max_id + 1, "ia": max_id + 2}
+        binder = ParameterBinding({P(k): C(v) for k, v in values.items()})
+        for hypothesis_denial in DELTA:
+            instantiated = Denial(tuple(
+                binder.apply_literal(literal)
+                for literal in hypothesis_denial.body))
+            assert denial_holds(instantiated, db)
+
+
+class TestSimplifiedShape:
+    def test_simplified_set_is_smaller(self):
+        assert len(SIMPLIFIED) == 3
+        assert sum(len(d.body) for d in SIMPLIFIED) \
+            < sum(len(d.body) for d in GAMMA)
+
+    def test_simplified_set_is_instantiated(self):
+        for denial in SIMPLIFIED:
+            assert P("ir") in denial.parameters()
+
+    def test_no_fresh_ids_survive(self):
+        for denial in SIMPLIFIED:
+            assert not (denial.parameters()
+                        & UPDATE.fresh_parameters)

@@ -1,0 +1,99 @@
+"""Property-based tests for the XML substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xtree import parse_document, serialize
+from repro.xtree.node import Document, Element, Text
+
+_tag = st.sampled_from(["a", "b", "c", "item", "node", "x-y", "q_r"])
+_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " &<>'\"éλ",
+    min_size=1, max_size=12).filter(lambda s: s.strip())
+_attr_name = st.sampled_from(["k", "key", "id", "kind"])
+_attr_value = st.text(
+    alphabet=string.ascii_letters + " &<'\"", max_size=8)
+
+
+def _elements(depth: int):
+    children = st.lists(
+        st.one_of(
+            st.builds(Text, _text),
+            _elements(depth - 1) if depth > 0 else st.builds(Text, _text),
+        ),
+        max_size=3,
+    )
+    return st.builds(
+        lambda tag, attrs, kids: _build(tag, attrs, kids),
+        _tag,
+        st.dictionaries(_attr_name, _attr_value, max_size=2),
+        children,
+    )
+
+
+def _build(tag, attrs, kids):
+    element = Element(tag, attrs)
+    for kid in kids:
+        element.append(kid)
+    return element
+
+
+documents = _elements(3).map(Document)
+
+
+class TestRoundTrip:
+    @given(documents)
+    @settings(max_examples=200, deadline=None)
+    def test_serialize_parse_preserves_structure(self, document):
+        reparsed = parse_document(serialize(document),
+                                  keep_whitespace=True)
+        assert _shape(reparsed.root) == _shape(document.root)
+
+    @given(documents)
+    @settings(max_examples=100, deadline=None)
+    def test_serialization_is_stable(self, document):
+        once = serialize(document)
+        again = serialize(parse_document(once, keep_whitespace=True))
+        assert once == again
+
+
+def _shape(node):
+    """Structural fingerprint; adjacent text children are merged, as
+    serialization necessarily coalesces them."""
+    if isinstance(node, Text):
+        return ("#text", node.value)
+    children = []
+    for child in node.children:
+        if isinstance(child, Text) and children \
+                and children[-1][0] == "#text":
+            children[-1] = ("#text", children[-1][1] + child.value)
+        else:
+            children.append(_shape(child))
+    return (node.tag, tuple(sorted(node.attributes.items())),
+            tuple(children))
+
+
+class TestIdentityInvariants:
+    @given(documents)
+    @settings(max_examples=100, deadline=None)
+    def test_ids_unique_and_preorder(self, document):
+        ids = [element.node_id
+               for element in document.root.iter_elements()]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    @given(documents)
+    @settings(max_examples=100, deadline=None)
+    def test_positions_consistent_with_children(self, document):
+        for element in document.root.iter_elements():
+            children = element.element_children()
+            for expected, child in enumerate(children, start=1):
+                assert child.child_position == expected
+
+    @given(documents)
+    @settings(max_examples=100, deadline=None)
+    def test_location_paths_unique(self, document):
+        paths = [element.location_path()
+                 for element in document.root.iter_elements()]
+        assert len(set(paths)) == len(paths)

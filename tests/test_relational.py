@@ -1,0 +1,177 @@
+"""Unit tests for the relational mapping (section 4.1)."""
+
+import pytest
+
+from repro.datalog import Atom, Denial, Variable as V, Parameter as P
+from repro.errors import SchemaError
+from repro.relational import RelationalSchema, shred, subtree_facts
+from repro.relational.prune import prune_implied_parent_atoms
+from repro.xtree import parse_document, parse_dtd
+
+
+class TestSchemaCompilation:
+    def test_running_example_predicates(self, relational_schema):
+        assert set(relational_schema.predicates) == {
+            "pub", "aut", "track", "rev", "sub", "auts"}
+
+    def test_paper_schema_shapes(self, relational_schema):
+        # pub(Id, Pos, IdParent, Title) etc., section 4.1
+        for tag, value_column in [("pub", "title"), ("aut", "name"),
+                                  ("track", "name"), ("rev", "name"),
+                                  ("sub", "title"), ("auts", "name")]:
+            predicate = relational_schema.predicate_for(tag)
+            assert [c.name for c in predicate.columns] \
+                == ["id", "pos", "parent", value_column]
+
+    def test_roots_not_predicates(self, relational_schema):
+        assert relational_schema.roots == ("dblp", "review")
+        assert not relational_schema.has_predicate("dblp")
+
+    def test_inlined_edges(self, relational_schema):
+        assert relational_schema.is_inlined("pub", "title")
+        assert relational_schema.is_inlined("rev", "name")
+        assert not relational_schema.is_inlined("rev", "sub")
+
+    def test_parent_tags(self, relational_schema):
+        assert relational_schema.predicate_for("sub").parent_tags == ("rev",)
+        assert relational_schema.predicate_for("pub").parent_tags == ("dblp",)
+
+    def test_unknown_tag_raises(self, relational_schema):
+        with pytest.raises(SchemaError):
+            relational_schema.predicate_for("unknown")
+
+    def test_optional_inlined_child_is_nullable(self):
+        dtd = parse_dtd("<!ELEMENT r (item)+><!ELEMENT item (label?, sub*)>"
+                        "<!ELEMENT label (#PCDATA)><!ELEMENT sub EMPTY>")
+        schema = RelationalSchema.from_dtd(dtd)
+        predicate = schema.predicate_for("item")
+        label = predicate.columns[predicate.column_index("label")]
+        assert label.optional
+
+    def test_repeated_pcdata_child_gets_own_predicate(self):
+        dtd = parse_dtd("<!ELEMENT r (tagword+)>"
+                        "<!ELEMENT tagword (#PCDATA)>")
+        schema = RelationalSchema.from_dtd(dtd)
+        predicate = schema.predicate_for("tagword")
+        assert predicate.has_text_column()
+
+    def test_attributes_become_columns(self):
+        dtd = parse_dtd("<!ELEMENT r (item+)><!ELEMENT item EMPTY>"
+                        "<!ATTLIST item kind CDATA #REQUIRED>")
+        schema = RelationalSchema.from_dtd(dtd)
+        predicate = schema.predicate_for("item")
+        assert predicate.attribute_index("kind") == 3
+
+    def test_pcdata_child_of_root_keeps_predicate(self):
+        dtd = parse_dtd("<!ELEMENT r (label)><!ELEMENT label (#PCDATA)>")
+        schema = RelationalSchema.from_dtd(dtd)
+        assert schema.has_predicate("label")
+
+    def test_incompatible_merge_rejected(self):
+        dtd_a = parse_dtd("<!ELEMENT ra (item+)><!ELEMENT item (x)>"
+                          "<!ELEMENT x (#PCDATA)>")
+        dtd_b = parse_dtd("<!ELEMENT rb (item+)><!ELEMENT item (y)>"
+                          "<!ELEMENT y (#PCDATA)>")
+        with pytest.raises(SchemaError):
+            RelationalSchema.from_dtds([dtd_a, dtd_b])
+
+    def test_describe_lists_predicates(self, relational_schema):
+        text = relational_schema.describe()
+        assert "pub(id, pos, parent, title)" in text
+
+
+class TestShredding:
+    def test_row_shapes(self, rev_doc, relational_schema):
+        db = shred(rev_doc, relational_schema)
+        for row in db.rows("rev"):
+            assert len(row) == 4
+            assert isinstance(row[0], int) and isinstance(row[2], int)
+
+    def test_positions_count_all_element_children(self, rev_doc,
+                                                   relational_schema):
+        db = shred(rev_doc, relational_schema)
+        positions = sorted(row[1] for row in db.rows("sub")
+                           if row[3] in ("Streams", "Joins"))
+        # name occupies position 1 inside rev, subs follow
+        assert positions == [2, 3]
+
+    def test_hierarchy_preserved(self, rev_doc, relational_schema):
+        db = shred(rev_doc, relational_schema)
+        sub_parents = {row[2] for row in db.rows("sub")}
+        rev_ids = {row[0] for row in db.rows("rev")}
+        assert sub_parents <= rev_ids
+
+    def test_inlined_text_in_parent_row(self, pub_doc, relational_schema):
+        db = shred(pub_doc, relational_schema)
+        titles = {row[3] for row in db.rows("pub")}
+        assert "Duckburg tales" in titles
+        assert db.count("title") == 0
+
+    def test_roots_produce_no_rows(self, rev_doc, relational_schema):
+        db = shred(rev_doc, relational_schema)
+        assert db.count("review") == 0
+
+    def test_unknown_root_rejected(self, relational_schema):
+        document = parse_document("<unknown/>")
+        with pytest.raises(SchemaError):
+            shred(document, relational_schema)
+
+    def test_subtree_facts_matches_full_shred(self, rev_doc,
+                                              relational_schema):
+        full = shred(rev_doc, relational_schema)
+        track = rev_doc.root.element_children("track")[0]
+        facts = subtree_facts(track, relational_schema)
+        for predicate, row in facts:
+            assert full.contains(predicate, row)
+
+    def test_missing_optional_child_shreds_to_none(self):
+        dtd = parse_dtd("<!ELEMENT r (item+)><!ELEMENT item (label?)>"
+                        "<!ELEMENT label (#PCDATA)>")
+        schema = RelationalSchema.from_dtd(dtd)
+        document = parse_document(
+            "<r><item><label>x</label></item><item/></r>")
+        db = shred(document, schema)
+        values = sorted(str(row[3]) for row in db.rows("item"))
+        assert values == ["None", "x"]
+
+
+class TestPruning:
+    def test_implied_parent_removed(self, relational_schema):
+        denial = Denial((
+            Atom("pub", (V("Ip"), V("_1"), V("_2"), V("_3"))),
+            Atom("aut", (V("Ia"), V("_4"), V("Ip"), V("N"))),
+        ))
+        pruned = prune_implied_parent_atoms(denial, relational_schema)
+        assert [a.predicate for a in pruned.atoms()] == ["aut"]
+
+    def test_parent_with_used_column_kept(self, relational_schema):
+        denial = Denial((
+            Atom("pub", (V("Ip"), V("_1"), V("_2"), V("T"))),
+            Atom("aut", (V("Ia"), V("_4"), V("Ip"), V("T"))),
+        ))
+        pruned = prune_implied_parent_atoms(denial, relational_schema)
+        assert len(pruned.atoms()) == 2
+
+    def test_pure_existence_atom_kept(self, relational_schema):
+        denial = Denial((
+            Atom("pub", (V("Ip"), V("_1"), V("_2"), V("_3"))),
+        ))
+        pruned = prune_implied_parent_atoms(denial, relational_schema)
+        assert len(pruned.atoms()) == 1
+
+    def test_parameter_id_not_pruned(self, relational_schema):
+        denial = Denial((
+            Atom("rev", (P("ir"), V("_1"), V("_2"), V("_3"))),
+            Atom("sub", (V("Is"), V("_4"), P("ir"), V("T"))),
+        ))
+        pruned = prune_implied_parent_atoms(denial, relational_schema)
+        assert len(pruned.atoms()) == 2
+
+    def test_chain_pruned_iteratively(self, relational_schema):
+        denial = Denial((
+            Atom("track", (V("It"), V("_1"), V("_2"), V("_3"))),
+            Atom("rev", (V("Iv"), V("_4"), V("It"), V("_5"))),
+            Atom("sub", (V("Is"), V("_6"), V("Iv"), V("T"))),
+        ))
+        pruned = prune_implied_parent_atoms(denial, relational_schema)
+        assert [a.predicate for a in pruned.atoms()] == ["sub"]

@@ -1,0 +1,91 @@
+"""Round-trip tests: shred → reconstruct is lossless."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import RelationalSchema, shred
+from repro.relational.reconstruct import reconstruct
+from repro.xtree import parse_document, parse_dtd, serialize
+from repro.xtree.node import Element
+
+
+class TestRunningExampleRoundTrip:
+    def test_rev_document(self, rev_doc, relational_schema):
+        database = shred(rev_doc, relational_schema)
+        rebuilt = reconstruct(database, relational_schema, "review")
+        assert serialize(rebuilt) == serialize(rev_doc)
+
+    def test_pub_document(self, pub_doc, relational_schema):
+        database = shred(pub_doc, relational_schema)
+        rebuilt = reconstruct(database, relational_schema, "dblp")
+        assert serialize(rebuilt) == serialize(pub_doc)
+
+    def test_node_ids_preserved(self, rev_doc, relational_schema):
+        database = shred(rev_doc, relational_schema)
+        rebuilt = reconstruct(database, relational_schema, "review")
+        original = {
+            element.location_path(): element.node_id
+            for element in rev_doc.iter_elements()
+            if not relational_schema.is_inlined(
+                element.parent.tag if element.parent else "",
+                element.tag)
+        }
+        for element in rebuilt.iter_elements():
+            parent_tag = element.parent.tag if element.parent else ""
+            if relational_schema.is_inlined(parent_tag, element.tag):
+                continue
+            if element.parent is None:
+                continue  # root id is synthesized from parent values
+            assert element.node_id == original[element.location_path()]
+
+    def test_shared_database_split_by_root(self, pub_doc, rev_doc,
+                                           relational_schema):
+        database = shred(pub_doc, relational_schema)
+        shred(rev_doc, relational_schema, database)
+        rebuilt_pub = reconstruct(database, relational_schema, "dblp")
+        rebuilt_rev = reconstruct(database, relational_schema, "review")
+        assert serialize(rebuilt_pub) == serialize(pub_doc)
+        assert serialize(rebuilt_rev) == serialize(rev_doc)
+
+    def test_fresh_ids_after_reconstruction(self, rev_doc,
+                                            relational_schema):
+        database = shred(rev_doc, relational_schema)
+        rebuilt = reconstruct(database, relational_schema, "review")
+        highest = max(element.node_id
+                      for element in rebuilt.iter_elements()
+                      if element.node_id is not None)
+        new_node = Element("probe")
+        rebuilt.root.append(new_node)
+        assert new_node.node_id > highest
+
+
+class TestCornerCases:
+    def test_non_root_rejected(self, relational_schema):
+        from repro.datalog import FactDatabase
+        with pytest.raises(SchemaError):
+            reconstruct(FactDatabase(), relational_schema, "rev")
+
+    def test_attributes_and_text_columns(self):
+        dtd = parse_dtd(
+            "<!ELEMENT log (entry*)><!ELEMENT entry (#PCDATA)>"
+            "<!ATTLIST entry level CDATA #IMPLIED>")
+        schema = RelationalSchema.from_dtd(dtd)
+        document = parse_document(
+            '<log><entry level="info">started</entry>'
+            "<entry>plain</entry></log>")
+        database = shred(document, schema)
+        rebuilt = reconstruct(database, schema, "log")
+        assert serialize(rebuilt) == serialize(document)
+
+    def test_empty_document(self, relational_schema):
+        document = parse_document("<dblp/>")
+        database = shred(document, relational_schema)
+        rebuilt = reconstruct(database, relational_schema, "dblp")
+        assert serialize(rebuilt) == serialize(document)
+
+    def test_generated_corpus_round_trip(self, small_corpus,
+                                         relational_schema):
+        pub_doc, rev_doc = small_corpus
+        database = shred(rev_doc, relational_schema)
+        rebuilt = reconstruct(database, relational_schema, "review")
+        assert serialize(rebuilt) == serialize(rev_doc)

@@ -1,0 +1,88 @@
+"""Unit tests for the deletion extension (repro.simplify.deletion)."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    Variable as V,
+)
+from repro.simplify.deletion import deletion_safe, simp_deletion
+
+
+def _aggregate_denial(func, op, bound=3):
+    term = None if func == "cnt" else V("X")
+    aggregate = Aggregate(func, False, term, (),
+                          (Atom("p", (V("X"), V("Y"))),))
+    return Denial((AggregateCondition(aggregate, op, C(bound)),))
+
+
+class TestDeletionSafe:
+    def test_positive_conjunctive_bodies_are_safe(self):
+        denial = Denial((
+            Atom("rev", (V("I"), V("A"), V("B"), V("R"))),
+            Atom("sub", (V("S"), V("C"), V("I"), V("T"))),
+            Comparison("ne", V("R"), V("T")),
+        ))
+        assert deletion_safe(denial)
+
+    @pytest.mark.parametrize("func, op, safe", [
+        ("cnt", "gt", True),
+        ("cnt", "ge", True),
+        ("max", "gt", True),
+        ("cnt", "lt", False),   # a shrinking count can fall below a floor
+        ("cnt", "le", False),
+        ("cnt", "eq", False),
+        ("cnt", "ne", False),
+        ("min", "gt", False),   # removing the minimum raises the min
+        ("avg", "gt", False),
+        ("sum", "gt", False),   # negative values make sums non-monotone
+    ])
+    def test_aggregate_monotonicity(self, func, op, safe):
+        assert deletion_safe(_aggregate_denial(func, op)) is safe
+
+    def test_running_example_constraints_are_safe(self, constraint_schema):
+        for constraint in constraint_schema.constraints:
+            assert all(deletion_safe(denial)
+                       for denial in constraint.denials)
+
+
+class TestSimpDeletion:
+    def test_safe_constraints_give_empty_check(self):
+        denial = Denial((Atom("p", (V("X"),)),))
+        assert simp_deletion([denial]) == []
+
+    def test_unsafe_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            simp_deletion([_aggregate_denial("cnt", "lt")])
+
+
+class TestGuardIntegration:
+    def test_unsafe_constraint_forces_brute_force_on_remove(
+            self, documents):
+        from repro.core import ConstraintSchema, IntegrityGuard
+        from repro.datagen.running_example import PUB_DTD, REV_DTD
+        # every reviewer must keep at least one submission
+        schema = ConstraintSchema(
+            [PUB_DTD, REV_DTD],
+            ["<- Cnt_D{[R]; //rev[/name/text() -> R]/sub} < 1"],
+            names=["at_least_one_sub"],
+        )
+        guard = IntegrityGuard(schema, documents)
+        # Grace reviews in exactly one track and has exactly one sub
+        remove_only_sub = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:remove select="/review/track[1]/rev[2]/sub[1]"/>
+        </xupdate:modifications>"""
+        decision = guard.try_execute(remove_only_sub)
+        assert not decision.legal
+        assert not decision.optimized
+        assert decision.violated == ["at_least_one_sub"]
+        # the rejected removal left the submission in place
+        track1 = documents[1].root.element_children("track")[0]
+        grace = track1.element_children("rev")[1]
+        assert len(grace.element_children("sub")) == 1

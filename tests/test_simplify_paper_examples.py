@@ -1,0 +1,179 @@
+"""The worked examples of section 5, asserted verbatim.
+
+These are the ground truth of the reproduction: ``After`` and ``Simp``
+must produce exactly the denials the paper derives (up to variable
+renaming, checked by mutual θ-subsumption).
+"""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    Parameter as P,
+    Variable as V,
+)
+from repro.simplify import UpdatePattern, after, freshness_hypotheses, simp
+
+
+def equivalent_sets(result, expected):
+    """Set equality modulo renaming (mutual subsumption per element)."""
+    if len(result) != len(expected):
+        return False
+    unmatched = list(expected)
+    for denial in result:
+        for candidate in unmatched:
+            if denial.equivalent_to(candidate):
+                unmatched.remove(candidate)
+                break
+        else:
+            return False
+    return not unmatched
+
+
+# -- Example 4/5: ISSN uniqueness -------------------------------------------
+
+@pytest.fixture()
+def issn_constraint():
+    return Denial((
+        Atom("p", (V("X"), V("Y"))),
+        Atom("p", (V("X"), V("Z"))),
+        Comparison("ne", V("Y"), V("Z")),
+    ))
+
+
+@pytest.fixture()
+def issn_update():
+    return UpdatePattern((Atom("p", (P("i"), P("t"))),))
+
+
+class TestExample4After:
+    def test_four_denials(self, issn_constraint, issn_update):
+        assert len(after([issn_constraint], issn_update)) == 4
+
+    def test_first_is_original(self, issn_constraint, issn_update):
+        expanded = after([issn_constraint], issn_update)
+        assert expanded[0].equivalent_to(issn_constraint)
+
+    def test_structure_matches_paper(self, issn_constraint, issn_update):
+        expanded = after([issn_constraint], issn_update)
+        # ← p(X,Y) ∧ X=i ∧ Z=t ∧ Y≠Z
+        second = expanded[1]
+        assert len(second.atoms()) == 1
+        assert len(second.comparisons()) == 3
+        # ← X=i ∧ Y=t ∧ X=i ∧ Z=t ∧ Y≠Z
+        fourth = expanded[3]
+        assert len(fourth.atoms()) == 0
+        assert len(fourth.comparisons()) == 5
+
+
+class TestExample5Simp:
+    def test_result_matches_paper(self, issn_constraint, issn_update):
+        result = simp([issn_constraint], issn_update)
+        expected = Denial((
+            Atom("p", (P("i"), V("Y"))),
+            Comparison("ne", V("Y"), P("t")),
+        ))
+        assert equivalent_sets(result, [expected])
+
+
+# -- Examples 6 and 7: the running example ----------------------------------
+
+@pytest.fixture()
+def gamma():
+    """Γ of example 3 (the compiled conflict-of-interest constraint)."""
+    return [
+        Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+            Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+            Atom("auts", (V("_5"), V("_6"), V("Is"), V("R"))),
+        )),
+        Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+            Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+            Atom("auts", (V("_5"), V("_6"), V("Is"), V("A"))),
+            Atom("aut", (V("_7"), V("_8"), V("Ip"), V("R"))),
+            Atom("aut", (V("_9"), V("_10"), V("Ip"), V("A"))),
+        )),
+    ]
+
+
+@pytest.fixture()
+def submission_update():
+    """U of example 6: insert a single-author submission."""
+    return UpdatePattern(
+        (Atom("sub", (P("is"), P("ps"), P("ir"), P("t"))),
+         Atom("auts", (P("ia"), P("pa"), P("is"), P("n")))),
+        frozenset({P("is"), P("ia")}))
+
+
+@pytest.fixture()
+def delta(submission_update, relational_schema):
+    return freshness_hypotheses(submission_update, relational_schema)
+
+
+class TestExample6Delta:
+    def test_delta_matches_paper(self, delta):
+        expected = [
+            Denial((Atom("sub", (P("is"), V("_1"), V("_2"), V("_3"))),)),
+            Denial((Atom("auts", (V("_4"), V("_5"), P("is"), V("_6"))),)),
+            Denial((Atom("auts", (P("ia"), V("_7"), V("_8"), V("_9"))),)),
+        ]
+        assert equivalent_sets(delta, expected)
+
+
+class TestExample6Simp:
+    def test_result_matches_paper(self, gamma, submission_update, delta):
+        result = simp(gamma, submission_update, delta)
+        expected = [
+            Denial((Atom("rev", (P("ir"), V("_1"), V("_2"), P("n"))),)),
+            Denial((
+                Atom("rev", (P("ir"), V("_1"), V("_2"), V("R"))),
+                Atom("aut", (V("_3"), V("_4"), V("Ip"), P("n"))),
+                Atom("aut", (V("_5"), V("_6"), V("Ip"), V("R"))),
+            )),
+        ]
+        assert equivalent_sets(result, expected)
+
+    def test_checks_are_cheaper(self, gamma, submission_update, delta):
+        result = simp(gamma, submission_update, delta)
+        original_atoms = sum(len(d.atoms()) for d in gamma)
+        simplified_atoms = sum(len(d.atoms()) for d in result)
+        assert simplified_atoms < original_atoms
+
+
+class TestExample7Simp:
+    def test_aggregate_bound_lowered(self, submission_update, delta):
+        constraint = Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("_3"))),
+            AggregateCondition(
+                Aggregate("cnt", True, None, (),
+                          (Atom("sub", (V("S1"), V("S2"), V("Ir"),
+                                        V("S3"))),)),
+                "gt", C(4)),
+        ))
+        result = simp([constraint], submission_update, delta)
+        expected = Denial((
+            Atom("rev", (P("ir"), V("_1"), V("_2"), V("_3"))),
+            AggregateCondition(
+                Aggregate("cnt", True, None, (),
+                          (Atom("sub", (V("T1"), V("T2"), P("ir"),
+                                        V("T3"))),)),
+                "gt", C(3)),
+        ))
+        assert equivalent_sets(result, [expected])
+
+
+class TestUnaffectedConstraints:
+    def test_constraint_over_other_predicates_vanishes(
+            self, submission_update, delta):
+        unrelated = Denial((
+            Atom("pub", (V("Ip"), V("_1"), V("_2"), V("T"))),
+            Atom("pub", (V("Iq"), V("_3"), V("_4"), V("T"))),
+            Comparison("ne", V("Ip"), V("Iq")),
+        ))
+        assert simp([unrelated], submission_update, delta) == []

@@ -1,0 +1,260 @@
+"""Unit tests for After, Optimize and the update-pattern machinery."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Arithmetic,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    Parameter as P,
+    Variable as V,
+)
+from repro.errors import SimplificationError
+from repro.simplify import (
+    UpdatePattern,
+    after,
+    freshness_hypotheses,
+    normalize_denial,
+    optimize,
+    simp,
+)
+from repro.simplify.optimize import ALWAYS_VIOLATED_BODY, always_violated
+
+
+class TestUpdatePattern:
+    def test_requires_ground_atoms(self):
+        with pytest.raises(SimplificationError):
+            UpdatePattern((Atom("p", (V("X"),)),))
+
+    def test_parameters_collected(self):
+        pattern = UpdatePattern((Atom("p", (P("a"), C(1))),))
+        assert pattern.parameters() == {P("a")}
+
+    def test_additions_for(self):
+        pattern = UpdatePattern((Atom("p", (P("a"),)),
+                                 Atom("q", (P("b"),))))
+        assert len(pattern.additions_for("p")) == 1
+        assert pattern.additions_for("r") == ()
+
+
+class TestFreshnessHypotheses:
+    def test_without_schema_only_id_hypotheses(self):
+        pattern = UpdatePattern(
+            (Atom("sub", (P("is"), P("ps"), P("ir"), P("t"))),),
+            frozenset({P("is")}))
+        delta = freshness_hypotheses(pattern)
+        assert len(delta) == 1
+        assert delta[0].atoms()[0].args[0] == P("is")
+
+    def test_non_fresh_parameters_get_no_hypotheses(self):
+        pattern = UpdatePattern(
+            (Atom("sub", (P("is"), P("ps"), P("ir"), P("t"))),))
+        assert freshness_hypotheses(pattern) == []
+
+    def test_schema_adds_child_hypotheses(self, relational_schema):
+        pattern = UpdatePattern(
+            (Atom("rev", (P("iv"), P("pv"), P("it"), P("n"))),),
+            frozenset({P("iv")}))
+        delta = freshness_hypotheses(pattern, relational_schema)
+        predicates = sorted(d.atoms()[0].predicate for d in delta)
+        assert predicates == ["rev", "sub"]  # rev id + sub children
+
+
+class TestAfterAtoms:
+    def test_two_updated_atoms_give_product(self):
+        constraint = Denial((
+            Atom("p", (V("X"),)),
+            Atom("q", (V("X"),)),
+        ))
+        update = UpdatePattern((Atom("p", (P("a"),)),
+                                Atom("q", (P("b"),))))
+        assert len(after([constraint], update)) == 4
+
+    def test_two_additions_same_predicate(self):
+        constraint = Denial((Atom("p", (V("X"),)),))
+        update = UpdatePattern((Atom("p", (P("a"),)),
+                                Atom("p", (P("b"),))))
+        assert len(after([constraint], update)) == 3
+
+    def test_arity_mismatch_rejected(self):
+        constraint = Denial((Atom("p", (V("X"),)),))
+        update = UpdatePattern((Atom("p", (P("a"), P("b"))),))
+        with pytest.raises(SimplificationError):
+            after([constraint], update)
+
+
+class TestAfterAggregates:
+    def _workload(self, op="gt", bound=4, func="cnt", distinct=True):
+        return Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("_3"))),
+            AggregateCondition(
+                Aggregate(func, distinct, None, (),
+                          (Atom("sub", (V("S1"), V("S2"), V("Ir"),
+                                        V("S3"))),)),
+                op, C(bound)),
+        ))
+
+    def _update(self, fresh=True):
+        params = frozenset({P("is")}) if fresh else frozenset()
+        return UpdatePattern(
+            (Atom("sub", (P("is"), P("ps"), P("ir"), P("t"))),), params)
+
+    def test_case_split_produces_original_plus_match(self):
+        cases = after([self._workload()], self._update())
+        assert len(cases) == 2
+
+    def test_bound_adjusted_in_match_case(self):
+        cases = after([self._workload()], self._update())
+        adjusted = cases[1].aggregate_conditions()[0]
+        assert adjusted.bound == C(3)
+
+    def test_group_instantiated_in_match_case(self):
+        cases = after([self._workload()], self._update())
+        rev_atom = cases[1].atoms()[0]
+        assert rev_atom.args[0] == P("ir")
+
+    def test_non_monotone_op_rejected(self):
+        with pytest.raises(SimplificationError):
+            after([self._workload(op="lt")], self._update())
+
+    def test_distinct_count_requires_fresh_id(self):
+        with pytest.raises(SimplificationError):
+            after([self._workload()], self._update(fresh=False))
+
+    def test_plain_count_does_not_require_freshness(self):
+        cases = after([self._workload(distinct=False)],
+                      self._update(fresh=False))
+        assert len(cases) == 2
+
+    def test_untouched_aggregate_left_alone(self):
+        constraint = self._workload()
+        update = UpdatePattern((Atom("pub", (P("i"), P("p"), P("d"),
+                                             P("t"))),))
+        assert after([constraint], update) == [constraint]
+
+    def test_residual_atoms_hoisted(self):
+        constraint = Denial((
+            AggregateCondition(
+                Aggregate("cnt", True, V("Is"), (V("R"),),
+                          (Atom("rev", (V("Iv"), V("_1"), V("_2"),
+                                        V("R"))),
+                           Atom("sub", (V("Is"), V("_3"), V("Iv"),
+                                        V("_4"))),)),
+                "gt", C(10)),
+        ))
+        cases = after([constraint], self._update())
+        match = cases[1]
+        hoisted = [a for a in match.atoms() if a.predicate == "rev"]
+        assert hoisted and hoisted[0].args[0] == P("ir")
+
+    def test_sum_contribution_adjusts_bound_symbolically(self):
+        constraint = Denial((
+            AggregateCondition(
+                Aggregate("sum", False, V("Amt"), (),
+                          (Atom("sale", (V("I"), V("Amt"))),)),
+                "gt", C(100)),
+        ))
+        update = UpdatePattern((Atom("sale", (P("i"), P("v"))),),
+                               frozenset({P("i")}))
+        cases = after([constraint], update)
+        bound = cases[1].aggregate_conditions()[0].bound
+        assert isinstance(bound, Arithmetic)
+
+    def test_self_join_on_updated_predicate_rejected(self):
+        constraint = Denial((
+            AggregateCondition(
+                Aggregate("cnt", True, V("A"), (),
+                          (Atom("sub", (V("A"), V("_1"), V("_2"),
+                                        V("_3"))),
+                           Atom("sub", (V("B"), V("_4"), V("_5"),
+                                        V("_6"))),)),
+                "gt", C(1)),
+        ))
+        with pytest.raises(SimplificationError):
+            after([constraint], self._update())
+
+
+class TestNormalize:
+    def test_equality_substitution(self):
+        denial = Denial((
+            Atom("p", (V("X"), V("Y"))),
+            Comparison("eq", V("X"), C(1)),
+        ))
+        assert normalize_denial(denial) == Denial((
+            Atom("p", (C(1), V("Y"))),))
+
+    def test_contradiction_drops_denial(self):
+        denial = Denial((
+            Atom("p", (V("X"),)),
+            Comparison("eq", V("X"), C(1)),
+            Comparison("eq", V("X"), C(2)),
+        ))
+        assert normalize_denial(denial) is None
+
+    def test_parameter_self_inequality_is_contradiction(self):
+        denial = Denial((Comparison("ne", P("t"), P("t")),))
+        assert normalize_denial(denial) is None
+
+    def test_residual_parameter_equality_kept(self):
+        denial = Denial((Atom("p", (P("a"),)),
+                         Comparison("eq", P("a"), P("b"))))
+        normal = normalize_denial(denial)
+        assert normal is not None and len(normal.comparisons()) == 1
+
+    def test_empty_body_becomes_always_violated(self):
+        denial = Denial((Comparison("eq", C(1), C(1)),))
+        normal = normalize_denial(denial)
+        assert normal is not None and always_violated(normal)
+
+    def test_duplicates_removed(self):
+        atom = Atom("p", (V("X"),))
+        assert normalize_denial(Denial((atom, atom))) == Denial((atom,))
+
+    def test_trivial_aggregate_bounds(self):
+        aggregate = Aggregate("cnt", False, None, (),
+                              (Atom("p", (V("X"),)),))
+        trivially_true = Denial((
+            Atom("q", (V("Y"),)),
+            AggregateCondition(aggregate, "ge", C(0)),
+        ))
+        assert normalize_denial(trivially_true) == Denial((
+            Atom("q", (V("Y"),)),))
+        impossible = Denial((AggregateCondition(aggregate, "lt", C(0)),))
+        assert normalize_denial(impossible) is None
+
+
+class TestOptimize:
+    def test_trusted_removes_copies(self):
+        constraint = Denial((Atom("p", (V("X"),)),))
+        assert optimize([constraint], [constraint]) == []
+
+    def test_variants_collapse(self):
+        first = Denial((Atom("p", (V("X"), P("i"))),))
+        second = Denial((Atom("p", (V("Y"), P("i"))),))
+        assert len(optimize([first, second])) == 1
+
+    def test_stronger_denial_wins(self):
+        strong = Denial((Atom("p", (V("X"),)),))
+        weak = Denial((Atom("p", (V("Y"),)), Atom("q", (V("Y"),))))
+        result = optimize([weak, strong])
+        assert result == [strong]
+
+    def test_always_violated_short_circuits(self):
+        result = optimize([
+            Denial(ALWAYS_VIOLATED_BODY),
+            Denial((Atom("p", (V("X"),)),)),
+        ])
+        assert len(result) == 1 and always_violated(result[0])
+
+
+class TestSimpSoundnessCorner:
+    def test_insertion_violating_unconditionally(self):
+        # a constraint forbidding any p-tuple at all
+        constraint = Denial((Atom("p", (V("X"),)),))
+        update = UpdatePattern((Atom("p", (P("a"),)),))
+        result = simp([constraint], update)
+        assert len(result) == 1 and always_violated(result[0])

@@ -1,0 +1,206 @@
+"""Unit tests for the denial → XQuery translation (section 6)."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Constant as C,
+    Denial,
+    Parameter as P,
+    Variable as V,
+)
+from repro.errors import CompilationError
+from repro.xquery import translate_denial
+from repro.xquery.engine import query_truth
+from repro.xtree.node import Element
+
+
+class TestStructural:
+    def test_simple_atom(self, relational_schema):
+        denial = Denial((Atom("pub", (V("Ip"), V("_1"), V("_2"),
+                                      C("Duckburg tales"))),))
+        query = translate_denial(denial, relational_schema)
+        assert "some $Ip in //pub" in query.text
+        assert 'title/text() = "Duckburg tales"' in query.text
+
+    def test_child_join_becomes_nested_path(self, relational_schema):
+        denial = Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+            Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert "$Is in $Ir/sub" in query.text
+
+    def test_shared_parent_defined_once(self, relational_schema):
+        # two aut atoms with the same pub parent, as in example 3
+        denial = Denial((
+            Atom("aut", (V("Ia"), V("_1"), V("Ip"), V("A"))),
+            Atom("aut", (V("Ib"), V("_2"), V("Ip"), V("B"))),
+            Comparison("ne", V("A"), V("B")),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert query.text.count("/..") == 1
+        assert "$Ip/aut" in query.text
+
+    def test_unused_columns_not_defined(self, relational_schema):
+        denial = Denial((Atom("sub", (V("Is"), V("_1"), V("_2"),
+                                      V("_3"))),))
+        query = translate_denial(denial, relational_schema)
+        assert "position" not in query.text
+        assert "title" not in query.text
+
+    def test_position_column(self, relational_schema):
+        denial = Denial((
+            Atom("pub", (V("Ip"), V("Pos"), V("_1"), V("_2"))),
+            Comparison("le", V("Pos"), C(3)),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert "position()" in query.text
+        assert "<= 3" in query.text
+
+    def test_node_identity_comparison(self, relational_schema):
+        denial = Denial((
+            Atom("aut", (V("Ia"), V("_1"), V("Ip"), V("_2"))),
+            Atom("aut", (V("Ib"), V("_3"), V("Ip"), V("_4"))),
+            Comparison("ne", V("Ia"), V("Ib")),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert "count(($Ia | $Ib)) = 2" in query.text
+
+    def test_unsafe_comparison_variable_rejected(self, relational_schema):
+        denial = Denial((
+            Atom("pub", (V("Ip"), V("_1"), V("_2"), V("_3"))),
+            Comparison("eq", V("Loose"), C(1)),
+        ))
+        with pytest.raises(CompilationError):
+            translate_denial(denial, relational_schema)
+
+
+class TestParameters:
+    def test_node_parameter_placeholder(self, relational_schema):
+        denial = Denial((Atom("rev", (P("ir"), V("_1"), V("_2"), P("n"))),))
+        query = translate_denial(denial, relational_schema)
+        assert query.parameters == {"ir": "node", "n": "value"}
+        assert "%{ir}" in query.text and "%{n}" in query.text
+
+    def test_instantiate_with_node_and_value(self, relational_schema,
+                                             rev_doc):
+        denial = Denial((Atom("rev", (P("ir"), V("_1"), V("_2"), P("n"))),))
+        query = translate_denial(denial, relational_schema)
+        target = next(rev_doc.iter_elements("rev"))
+        text = query.instantiate({"ir": target, "n": "Alice"})
+        assert "%{" not in text
+        assert target.location_path() in text
+        assert query_truth(text, rev_doc)  # first reviewer is Alice
+
+    def test_instantiate_missing_binding_rejected(self, relational_schema):
+        denial = Denial((Atom("rev", (P("ir"), V("_1"), V("_2"),
+                                      V("_3"))),))
+        query = translate_denial(denial, relational_schema)
+        with pytest.raises(CompilationError):
+            query.instantiate({})
+
+    def test_instantiate_node_kind_requires_element(self, relational_schema):
+        denial = Denial((Atom("rev", (P("ir"), V("_1"), V("_2"),
+                                      V("_3"))),))
+        query = translate_denial(denial, relational_schema)
+        with pytest.raises(CompilationError):
+            query.instantiate({"ir": "not-an-element"})
+
+    def test_numeric_value_parameter(self, relational_schema, rev_doc):
+        denial = Denial((Atom("sub", (V("Is"), P("ps"), V("_1"),
+                                      V("_2"))),))
+        query = translate_denial(denial, relational_schema)
+        text = query.instantiate({"ps": 2})
+        assert "= 2" in text
+        assert query_truth(text, rev_doc)
+
+
+class TestAggregateTranslation:
+    def test_single_atom_count(self, relational_schema):
+        denial = Denial((
+            Atom("rev", (P("ir"), V("_1"), V("_2"), V("_3"))),
+            AggregateCondition(
+                Aggregate("cnt", True, None, (),
+                          (Atom("sub", (V("S1"), V("S2"), P("ir"),
+                                        V("S3"))),)),
+                "gt", C(3)),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert "count(%{ir}/sub) > 3" in query.text
+
+    def test_chain_body_with_group(self, relational_schema):
+        aggregate = Aggregate(
+            "cnt", True, V("Is"), (V("R"),),
+            (Atom("rev", (V("Iv"), V("_1"), V("_2"), V("R"))),
+             Atom("sub", (V("Is"), V("_3"), V("Iv"), V("_4"))),))
+        denial = Denial((AggregateCondition(aggregate, "gt", C(10)),))
+        query = translate_denial(denial, relational_schema)
+        assert "distinct-values(//rev/name/text())" in query.text
+        assert "count(//rev[name/text() = $R]/sub) > 10" in query.text
+
+    def test_branch_becomes_predicate(self, relational_schema):
+        aggregate = Aggregate(
+            "cnt", True, V("It"), (V("R"),),
+            (Atom("track", (V("It"), V("_1"), V("_2"), V("_3"))),
+             Atom("rev", (V("Iv"), V("_4"), V("It"), V("R"))),))
+        denial = Denial((AggregateCondition(aggregate, "ge", C(3)),))
+        query = translate_denial(denial, relational_schema)
+        assert "count(//track[rev[name/text() = $R]]) >= 3" in query.text
+
+    def test_value_target_uses_distinct_values(self, relational_schema):
+        aggregate = Aggregate(
+            "cnt", True, V("N"), (),
+            (Atom("auts", (V("Ia"), V("_1"), V("_2"), V("N"))),))
+        denial = Denial((AggregateCondition(aggregate, "gt", C(5)),))
+        query = translate_denial(denial, relational_schema)
+        assert "count(distinct-values(//auts/name/text())) > 5" \
+            in query.text
+
+    def test_multi_atom_row_count_rejected(self, relational_schema):
+        aggregate = Aggregate(
+            "cnt", False, None, (),
+            (Atom("rev", (V("Iv"), V("_1"), V("_2"), V("_3"))),
+             Atom("sub", (V("Is"), V("_4"), V("Iv"), V("_5"))),))
+        denial = Denial((AggregateCondition(aggregate, "gt", C(1)),))
+        with pytest.raises(CompilationError):
+            translate_denial(denial, relational_schema)
+
+    def test_arithmetic_bound(self, relational_schema):
+        from repro.datalog import Arithmetic
+        denial = Denial((
+            AggregateCondition(
+                Aggregate("cnt", True, V("Is"), (),
+                          (Atom("sub", (V("Is"), V("_1"), V("_2"),
+                                        V("_3"))),)),
+                "gt", Arithmetic("-", P("c"), C(1))),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert "(%{c} - 1)" in query.text
+
+
+class TestEndToEndEvaluation:
+    def test_conflict_detected_via_translation(self, relational_schema,
+                                               documents):
+        # Alice reviews a sub by Bob; Alice and Bob coauthored a pub
+        denial = Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+            Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+            Atom("auts", (V("_5"), V("_6"), V("Is"), V("A"))),
+            Atom("aut", (V("_7"), V("_8"), V("Ip"), V("R"))),
+            Atom("aut", (V("_9"), V("_10"), V("Ip"), V("A"))),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert not query_truth(query.text, documents)
+
+    def test_self_review_query(self, relational_schema, documents):
+        denial = Denial((
+            Atom("rev", (V("Ir"), V("_1"), V("_2"), V("R"))),
+            Atom("sub", (V("Is"), V("_3"), V("Ir"), V("_4"))),
+            Atom("auts", (V("_5"), V("_6"), V("Is"), V("R"))),
+        ))
+        query = translate_denial(denial, relational_schema)
+        assert not query_truth(query.text, documents)

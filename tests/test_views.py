@@ -1,0 +1,182 @@
+"""Tests for views (Horn rules with heads, section 3.1) and their
+unfolding into constraints."""
+
+import pytest
+
+from repro.core import ConstraintSchema, IntegrityGuard
+from repro.datagen.running_example import (
+    CONFLICT_OF_INTEREST,
+    PUB_DTD,
+    REV_DTD,
+    submission_xupdate,
+)
+from repro.datalog import Atom, Denial, Parameter as P, Variable as V
+from repro.errors import CompilationError, XPathLogError
+from repro.xpathlog import (
+    compile_constraint,
+    compile_rule,
+    parse_constraint,
+    parse_rule,
+)
+
+COAUTHOR = ("coauthor(A, B) <- //pub[/aut/name/text() -> A "
+            "/\\ aut/name/text() -> B]")
+
+
+class TestRuleParsing:
+    def test_head_and_body(self):
+        rule = parse_rule(COAUTHOR)
+        assert rule.head_name == "coauthor"
+        assert rule.head_params == ("A", "B")
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(XPathLogError):
+            parse_rule("v(A, A) <- //pub/title/text() -> A")
+
+    def test_zero_parameter_view(self):
+        rule = parse_rule("any_pub() <- //pub")
+        assert rule.head_params == ()
+
+    def test_call_in_constraint(self):
+        constraint = parse_constraint("<- coauthor(A, A)")
+        from repro.xpathlog.ast import PredicateCall
+        assert isinstance(constraint.body, PredicateCall)
+
+
+class TestRuleCompilation:
+    def test_view_body_literals(self, relational_schema):
+        view = compile_rule(parse_rule(COAUTHOR), relational_schema)
+        assert [a.predicate for a in view.literals] \
+            == ["pub", "aut", "aut"]
+
+    def test_unbound_head_parameter_rejected(self, relational_schema):
+        with pytest.raises(CompilationError):
+            compile_rule(parse_rule("v(A, B) <- //pub/title/text() -> A"),
+                         relational_schema)
+
+    def test_disjunctive_body_rejected(self, relational_schema):
+        with pytest.raises(CompilationError):
+            compile_rule(
+                parse_rule("v(A) <- //pub/title/text() -> A "
+                           "\\/ //sub/title/text() -> A"),
+                relational_schema)
+
+    def test_view_may_use_earlier_view(self, relational_schema):
+        views = {}
+        views["coauthor"] = compile_rule(parse_rule(COAUTHOR),
+                                         relational_schema, views)
+        self_coauthor = compile_rule(
+            parse_rule("self_co(A) <- coauthor(A, A)"),
+            relational_schema, views)
+        assert len(self_coauthor.literals) == 3
+
+    def test_duplicate_view_rejected(self, relational_schema):
+        views = {}
+        views["coauthor"] = compile_rule(parse_rule(COAUTHOR),
+                                         relational_schema, views)
+        with pytest.raises(CompilationError):
+            compile_rule(parse_rule(COAUTHOR), relational_schema, views)
+
+
+class TestUnfolding:
+    def test_constraint_over_view_equals_direct_form(self,
+                                                     relational_schema):
+        views = {"coauthor": compile_rule(parse_rule(COAUTHOR),
+                                          relational_schema)}
+        layered = compile_constraint(
+            parse_constraint(
+                "<- //rev[/name/text() -> R]/sub/auts/name/text() -> A "
+                "/\\ coauthor(A, R)"),
+            relational_schema, views)
+        direct = compile_constraint(
+            parse_constraint(CONFLICT_OF_INTEREST), relational_schema)
+        # the layered constraint equals the second disjunct of example 1
+        assert len(layered) == 1
+        assert layered[0].equivalent_to(direct[1])
+
+    def test_constant_argument(self, relational_schema):
+        views = {"coauthor": compile_rule(parse_rule(COAUTHOR),
+                                          relational_schema)}
+        denials = compile_constraint(
+            parse_constraint('<- coauthor(A, "Alice")'),
+            relational_schema, views)
+        constants = [
+            arg for atom in denials[0].atoms() for arg in atom.args
+            if getattr(arg, "value", None) == "Alice"
+        ]
+        assert constants
+
+    def test_two_calls_rename_apart(self, relational_schema):
+        views = {"coauthor": compile_rule(parse_rule(COAUTHOR),
+                                          relational_schema)}
+        denials = compile_constraint(
+            parse_constraint("<- coauthor(A, B) /\\ coauthor(B, C) "
+                             "/\\ A != C"),
+            relational_schema, views)
+        auts = [a for a in denials[0].atoms() if a.predicate == "aut"]
+        # two independent unfoldings: four aut atoms over two distinct
+        # publication parents (the pub atoms themselves are pruned as
+        # schema-implied)
+        assert len(auts) == 4
+        parents = {atom.args[2] for atom in auts}
+        assert len(parents) == 2
+
+    def test_unknown_view_rejected(self, relational_schema):
+        with pytest.raises(CompilationError):
+            compile_constraint(parse_constraint("<- mystery(A)"),
+                               relational_schema, {})
+
+    def test_negated_view(self, relational_schema):
+        views = {"registered": compile_rule(
+            parse_rule("registered(N) <- //aut/name/text() -> N"),
+            relational_schema)}
+        denials = compile_constraint(
+            parse_constraint(
+                "<- //sub/auts/name/text() -> A /\\ not(registered(A))"),
+            relational_schema, views)
+        assert denials[0].negations()
+        inner = denials[0].negations()[0]
+        assert [a.predicate for a in inner.atoms()] == ["aut"]
+
+
+class TestEndToEnd:
+    def test_schema_with_views(self, documents):
+        schema = ConstraintSchema(
+            [PUB_DTD, REV_DTD],
+            [
+                "<- //rev[/name/text() -> R]/sub/auts/name/text() -> R",
+                "<- //rev[/name/text() -> R]/sub/auts/name/text() -> A "
+                "/\\ coauthor(A, R)",
+            ],
+            names=["no_self_review", "no_coauthor_review"],
+            views=[COAUTHOR],
+        )
+        schema.register_pattern(submission_xupdate(1, 1, "x", "y"))
+        guard = IntegrityGuard(schema, documents)
+        # Bob coauthored "Duckburg tales" with reviewer Alice
+        decision = guard.try_execute(
+            submission_xupdate(1, 1, "Sneaky", "Bob"))
+        assert not decision.legal
+        assert decision.violated == ["no_coauthor_review"]
+
+    def test_simplification_through_views(self, documents):
+        schema = ConstraintSchema(
+            [PUB_DTD, REV_DTD],
+            ["<- //rev[/name/text() -> R]/sub/auts/name/text() -> A "
+             "/\\ coauthor(A, R)"],
+            names=["no_coauthor_review"],
+            views=[COAUTHOR],
+        )
+        signature = schema.register_pattern(
+            submission_xupdate(1, 1, "x", "y"))
+        checks = schema.checks_for(signature)
+        assert checks is not None and not checks.fallback
+        simplified = checks.optimized[0].simplified
+        # the paper's example 6 second denial, via the view
+        assert len(simplified) == 1
+        expected = Denial((
+            Atom("rev", (P("ir"), V("_1"), V("_2"), V("R"))),
+            Atom("aut", (V("_3"), V("_4"), V("Ip"), P("n"))),
+            Atom("aut", (V("_5"), V("_6"), V("Ip"), V("R"))),
+        ))
+        assert simplified[0].equivalent_to(expected)

@@ -1,0 +1,136 @@
+"""Unit tests for the XPathLog lexer/parser and DNF normalization."""
+
+import pytest
+
+from repro.errors import XPathLogError
+from repro.xpathlog import parse_constraint, parse_path
+from repro.xpathlog.ast import (
+    AggregateComparison,
+    AndCondition,
+    ComparisonCondition,
+    OrCondition,
+    PathCondition,
+    normalize_disjuncts,
+)
+
+
+class TestPaths:
+    def test_absolute_descendant(self):
+        path = parse_path("//rev/sub")
+        assert path.absolute
+        assert path.descendant_flags == (True, False)
+        assert [s.nodetest for s in path.steps] == ["rev", "sub"]
+
+    def test_text_and_position_steps(self):
+        path = parse_path("//pub/title/text()")
+        assert path.steps[-1].axis == "text"
+        path = parse_path("//pub/position()")
+        assert path.steps[-1].axis == "position"
+
+    def test_parent_and_attribute(self):
+        path = parse_path("//aut/../@kind")
+        assert path.steps[1].axis == "parent"
+        assert path.steps[2].axis == "attribute"
+        assert path.steps[2].nodetest == "kind"
+
+    def test_binding(self):
+        path = parse_path("//rev/name/text() -> R")
+        assert path.steps[-1].binding == "R"
+
+    def test_unicode_arrow(self):
+        path = parse_path("//rev/name/text() → R")
+        assert path.steps[-1].binding == "R"
+
+    def test_qualifier(self):
+        path = parse_path('//pub[title = "X"]/aut')
+        assert len(path.steps[0].qualifiers) == 1
+
+    def test_positional_qualifier_sugar(self):
+        path = parse_path("/review/track[2]")
+        qualifier = path.steps[1].qualifiers[0]
+        assert isinstance(qualifier, ComparisonCondition)
+
+    def test_unknown_node_function_rejected(self):
+        with pytest.raises(XPathLogError):
+            parse_path("//pub/last()")
+
+
+class TestConstraints:
+    def test_conjunction(self):
+        constraint = parse_constraint("<- //pub /\\ //rev")
+        assert isinstance(constraint.body, AndCondition)
+
+    def test_keywords_and_or(self):
+        constraint = parse_constraint("<- //pub and //rev or //track")
+        assert isinstance(constraint.body, OrCondition)
+
+    def test_unicode_connectives(self):
+        constraint = parse_constraint("← //pub ∧ //rev")
+        assert isinstance(constraint.body, AndCondition)
+
+    def test_comparison_operand_kinds(self):
+        constraint = parse_constraint('<- A = "x" /\\ B != 3 /\\ C <= D')
+        items = constraint.body.items
+        assert all(isinstance(item, ComparisonCondition) for item in items)
+
+    def test_variable_alone_rejected(self):
+        with pytest.raises(XPathLogError):
+            parse_constraint("<- A")
+
+    def test_missing_arrow_head_rejected(self):
+        with pytest.raises(XPathLogError):
+            parse_constraint("//pub")
+
+    def test_aggregate(self):
+        constraint = parse_constraint(
+            "<- Cnt_D{[R]; //rev[/name/text() -> R]/sub} > 10")
+        body = constraint.body
+        assert isinstance(body, AggregateComparison)
+        assert body.func == "cnt" and body.distinct
+        assert body.group_by == ("R",)
+        assert body.bound == 10
+
+    def test_aggregate_with_term(self):
+        constraint = parse_constraint(
+            "<- Sum{X [R]; //rev[/name/text() -> R]/sub/position() -> X} > 5")
+        assert constraint.body.term == "X"
+
+    def test_aggregate_without_bound_rejected(self):
+        with pytest.raises(XPathLogError):
+            parse_constraint("<- Cnt_D{[R]; //rev}")
+
+    def test_source_preserved(self):
+        text = "<- //pub"
+        assert parse_constraint(text).source == text
+
+
+class TestNormalization:
+    def test_top_level_disjunction_splits(self):
+        constraint = parse_constraint('<- //pub /\\ (A = "x" \\/ A = "y")')
+        dnf = normalize_disjuncts(constraint.body)
+        assert len(dnf) == 2
+        assert all(len(conjunct) == 2 for conjunct in dnf)
+
+    def test_nested_disjunction_distributes(self):
+        constraint = parse_constraint(
+            '<- (//pub \\/ //rev) /\\ (//track \\/ //sub)')
+        assert len(normalize_disjuncts(constraint.body)) == 4
+
+    def test_qualifier_disjunction_hoisted(self):
+        constraint = parse_constraint(
+            '<- //pub[title = "X" \\/ title = "Y"]/aut')
+        dnf = normalize_disjuncts(constraint.body)
+        assert len(dnf) == 2
+        for conjunct in dnf:
+            assert isinstance(conjunct[0], PathCondition)
+            assert len(conjunct[0].path.steps[0].qualifiers) == 1
+
+    def test_conjunction_flattens(self):
+        constraint = parse_constraint("<- //pub /\\ //rev /\\ //track")
+        dnf = normalize_disjuncts(constraint.body)
+        assert len(dnf) == 1 and len(dnf[0]) == 3
+
+    def test_paper_example_1_has_two_disjuncts(self):
+        from repro.datagen.running_example import CONFLICT_OF_INTEREST
+        constraint = parse_constraint(CONFLICT_OF_INTEREST)
+        assert len(normalize_disjuncts(constraint.body)) == 2

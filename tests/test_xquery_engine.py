@@ -1,0 +1,270 @@
+"""Unit tests for the XQuery lexer, parser and evaluator."""
+
+import pytest
+
+from repro.errors import XQueryError, XQueryEvaluationError
+from repro.xquery import evaluate_query, parse_query
+from repro.xquery.engine import query_truth
+from repro.xtree import parse_document
+from repro.xtree.node import Element, Text
+
+
+@pytest.fixture()
+def doc():
+    return parse_document("""<review>
+      <track><name>DB</name>
+        <rev><name>Alice</name>
+          <sub><title>S1</title><auts><name>Bob</name></auts></sub>
+          <sub><title>S2</title><auts><name>Carol</name></auts></sub>
+        </rev>
+        <rev><name>Dan</name>
+          <sub><title>S3</title><auts><name>Bob</name></auts></sub>
+        </rev>
+      </track>
+      <track><name>IR</name>
+        <rev><name>Alice</name>
+          <sub><title>S4</title><auts><name>Erin</name></auts></sub>
+        </rev>
+      </track>
+    </review>""")
+
+
+def strings(items):
+    return [item.text() if isinstance(item, Element)
+            else item.value if isinstance(item, Text) else item
+            for item in items]
+
+
+class TestPaths:
+    def test_descendant(self, doc):
+        assert len(evaluate_query("//sub", doc)) == 4
+
+    def test_absolute_child_steps(self, doc):
+        assert len(evaluate_query("/review/track", doc)) == 2
+
+    def test_positional_predicate(self, doc):
+        result = evaluate_query("/review/track[2]/name/text()", doc)
+        assert strings(result) == ["IR"]
+
+    def test_boolean_predicate(self, doc):
+        result = evaluate_query("//rev[name/text() = 'Dan']/sub/title"
+                                "/text()", doc)
+        assert strings(result) == ["S3"]
+
+    def test_parent_step(self, doc):
+        result = evaluate_query("//sub[title/text() = 'S3']/../name"
+                                "/text()", doc)
+        assert strings(result) == ["Dan"]
+
+    def test_wildcard(self, doc):
+        assert len(evaluate_query("/review/track[1]/*", doc)) == 3
+
+    def test_text_node_test(self, doc):
+        # [1] selects the first rev child *per parent track*
+        result = evaluate_query("//rev[1]/name/text()", doc)
+        assert strings(result) == ["Alice", "Alice"]
+
+    def test_position_step_extension(self, doc):
+        # engine extension: the node's position among element siblings
+        result = evaluate_query("//sub[title/text() = 'S2']/position()",
+                                doc)
+        assert result == [3]  # name is child 1, S1 child 2, S2 child 3
+
+    def test_nodes_deduplicated(self, doc):
+        result = evaluate_query("//sub/../..", doc)
+        assert len(result) == 2  # the two tracks, not four
+
+    def test_predicate_position_function(self, doc):
+        result = evaluate_query("//sub[position() = last()]/title/text()",
+                                doc)
+        assert strings(result) == ["S2", "S3", "S4"]
+
+    def test_variable_start(self, doc):
+        revs = evaluate_query("//rev", doc)
+        result = evaluate_query("$r/name/text()", doc,
+                                {"r": [revs[1]]})
+        assert strings(result) == ["Dan"]
+
+
+class TestOperators:
+    def test_general_comparison_existential(self, doc):
+        assert query_truth("//rev/name/text() = 'Dan'", doc)
+        assert not query_truth("//rev/name/text() = 'Zoe'", doc)
+
+    def test_untyped_numeric_coercion(self, doc):
+        assert query_truth("//sub/position() = 2", doc)
+
+    def test_arithmetic(self, doc):
+        assert evaluate_query("1 + 2 * 3", doc) == [7]
+        assert evaluate_query("7 idiv 2", doc) == [3]
+        assert evaluate_query("7 mod 2", doc) == [1]
+        assert evaluate_query("6 div 3", doc) == [2.0]
+
+    def test_division_by_zero(self, doc):
+        with pytest.raises(XQueryEvaluationError):
+            evaluate_query("1 div 0", doc)
+
+    def test_and_or_short_circuit(self, doc):
+        assert evaluate_query("false() and (1 div 0)", doc) == [False]
+        assert evaluate_query("true() or (1 div 0)", doc) == [True]
+
+    def test_range(self, doc):
+        assert evaluate_query("1 to 4", doc) == [1, 2, 3, 4]
+
+    def test_union_dedupes(self, doc):
+        assert len(evaluate_query("(//sub | //sub)", doc)) == 4
+
+    def test_unary_minus(self, doc):
+        assert evaluate_query("-(2 + 3)", doc) == [-5]
+
+    def test_sequence_expression(self, doc):
+        assert evaluate_query('(1, "a", 2)', doc) == [1, "a", 2]
+
+
+class TestFunctions:
+    def test_count_exists_empty(self, doc):
+        assert evaluate_query("count(//sub)", doc) == [4]
+        assert evaluate_query("exists(//sub)", doc) == [True]
+        assert evaluate_query("empty(//missing)", doc) == [True]
+
+    def test_not_boolean(self, doc):
+        assert evaluate_query("not(//missing)", doc) == [True]
+        assert evaluate_query("boolean(//sub)", doc) == [True]
+
+    def test_string_functions(self, doc):
+        assert evaluate_query('concat("a", "b", "c")', doc) == ["abc"]
+        assert evaluate_query('contains("hello", "ell")', doc) == [True]
+        assert evaluate_query('starts-with("hello", "he")', doc) == [True]
+        assert evaluate_query('string-length("abc")', doc) == [3]
+        assert evaluate_query('substring("hello", 2, 3)', doc) == ["ell"]
+        assert evaluate_query('upper-case("ab")', doc) == ["AB"]
+        assert evaluate_query('normalize-space("  a  b ")', doc) == ["a b"]
+
+    def test_distinct_values(self, doc):
+        result = evaluate_query("distinct-values(//rev/name/text())", doc)
+        assert sorted(str(v) for v in result) == ["Alice", "Dan"]
+
+    def test_numeric_aggregates(self, doc):
+        assert evaluate_query("sum((1, 2, 3))", doc) == [6]
+        assert evaluate_query("avg((2, 4))", doc) == [3.0]
+        assert evaluate_query("min((3, 1))", doc) == [1]
+        assert evaluate_query("max((3, 1))", doc) == [3]
+        assert evaluate_query("floor(2.7)", doc) == [2]
+        assert evaluate_query("ceiling(2.1)", doc) == [3]
+        assert evaluate_query("round(2.5)", doc) == [3]
+        assert evaluate_query("abs(-2)", doc) == [2]
+
+    def test_name_and_root(self, doc):
+        assert evaluate_query("name(//sub[1])", doc) == ["sub"]
+        roots = evaluate_query("root(//sub[title/text() = 'S1'])", doc)
+        assert roots[0].tag == "review"
+
+    def test_unknown_function_rejected(self, doc):
+        with pytest.raises(XQueryEvaluationError):
+            evaluate_query("frobnicate(1)", doc)
+
+    def test_wrong_arity_rejected(self, doc):
+        with pytest.raises(XQueryEvaluationError):
+            evaluate_query("count(1, 2)", doc)
+
+
+class TestFLWOR:
+    def test_paper_aggregate_form(self, doc):
+        # the section 6 translation of example 7's constraint
+        query = ("exists( for $lr in //rev let $d := $lr/sub "
+                 "where count($d) > 1 return <idle/> )")
+        assert query_truth(query, doc)
+        query = query.replace("> 1", "> 2")
+        assert not query_truth(query, doc)
+
+    def test_for_iterates(self, doc):
+        result = evaluate_query(
+            "for $s in //sub return $s/title/text()", doc)
+        assert strings(result) == ["S1", "S2", "S3", "S4"]
+
+    def test_where_filters(self, doc):
+        result = evaluate_query(
+            "for $r in //rev where count($r/sub) = 2 "
+            "return $r/name/text()", doc)
+        assert strings(result) == ["Alice"]
+
+    def test_multiple_for_clauses(self, doc):
+        result = evaluate_query(
+            "for $t in //track, $r in $t/rev return $r/name/text()", doc)
+        assert len(result) == 3
+
+    def test_let_binds_sequence(self, doc):
+        result = evaluate_query(
+            "let $all := //sub return count($all)", doc)
+        assert result == [4]
+
+
+class TestQuantified:
+    def test_some(self, doc):
+        assert query_truth(
+            "some $r in //rev satisfies count($r/sub) = 2", doc)
+
+    def test_every(self, doc):
+        assert query_truth(
+            "every $r in //rev satisfies count($r/sub) >= 1", doc)
+        assert not query_truth(
+            "every $r in //rev satisfies count($r/sub) = 2", doc)
+
+    def test_multiple_bindings(self, doc):
+        assert query_truth(
+            "some $r in //rev, $s in $r/sub satisfies "
+            "$s/title/text() = 'S4'", doc)
+
+    def test_empty_domain(self, doc):
+        assert not query_truth(
+            "some $x in //missing satisfies true()", doc)
+        assert query_truth(
+            "every $x in //missing satisfies false()", doc)
+
+
+class TestConstructorsAndIf:
+    def test_idle_constructor(self, doc):
+        result = evaluate_query("<idle/>", doc)
+        assert isinstance(result[0], Element)
+        assert result[0].tag == "idle"
+
+    def test_constructor_makes_flwor_result_nonempty(self, doc):
+        assert query_truth(
+            "exists(for $t in //track return <idle/>)", doc)
+
+    def test_if_expression(self, doc):
+        assert evaluate_query(
+            "if (count(//sub) > 3) then 'many' else 'few'", doc) \
+            == ["many"]
+
+    def test_text_content_constructor(self, doc):
+        result = evaluate_query("<note>hi</note>", doc)
+        assert result[0].text() == "hi"
+
+
+class TestMultiDocument:
+    def test_absolute_paths_span_collection(self, doc):
+        other = parse_document("<dblp><pub><title>T</title>"
+                               "<aut><name>A</name></aut></pub></dblp>")
+        assert evaluate_query("count(//name)", [doc, other]) == [10]
+        assert query_truth("//pub/title/text() = 'T'", [doc, other])
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "some $x in //a",
+        "for $x in //a",
+        "1 +",
+        "count(",
+        "//a[",
+        "let $x = 3 return $x",
+        "'unterminated",
+    ])
+    def test_malformed_queries_raise(self, text):
+        with pytest.raises(XQueryError):
+            parse_query(text)
+
+    def test_unbound_variable(self, doc):
+        with pytest.raises(XQueryEvaluationError):
+            evaluate_query("$nope", doc)

@@ -1,0 +1,112 @@
+"""Unit tests for the XDM value model (repro.xquery.values)."""
+
+import pytest
+
+from repro.errors import XQueryEvaluationError
+from repro.xquery.values import (
+    UntypedAtomic,
+    atomize,
+    compare_atomics,
+    effective_boolean_value,
+    general_compare,
+    string_value,
+    to_number,
+)
+from repro.xtree.node import Element, Text
+
+
+class TestStringValue:
+    def test_element_string_value_is_descendant_text(self):
+        inner = Element("name", children=[Text("Ada")])
+        outer = Element("aut", children=[inner, Text("!")])
+        assert string_value(outer) == "Ada!"
+
+    def test_booleans(self):
+        assert string_value(True) == "true"
+        assert string_value(False) == "false"
+
+    def test_integral_float(self):
+        assert string_value(3.0) == "3"
+        assert string_value(3.5) == "3.5"
+
+
+class TestAtomize:
+    def test_nodes_become_untyped(self):
+        element = Element("v", children=[Text("42")])
+        atoms = atomize([element, "typed", 7])
+        assert isinstance(atoms[0], UntypedAtomic)
+        assert atoms[1] == "typed" and not isinstance(atoms[1],
+                                                      UntypedAtomic)
+        assert atoms[2] == 7
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_is_false(self):
+        assert effective_boolean_value([]) is False
+
+    def test_node_first_is_true(self):
+        assert effective_boolean_value([Element("a"), "x"]) is True
+
+    def test_singleton_values(self):
+        assert effective_boolean_value([True]) is True
+        assert effective_boolean_value([0]) is False
+        assert effective_boolean_value([0.5]) is True
+        assert effective_boolean_value([""]) is False
+        assert effective_boolean_value(["x"]) is True
+
+    def test_nan_is_false(self):
+        assert effective_boolean_value([float("nan")]) is False
+
+    def test_multi_atomic_is_error(self):
+        with pytest.raises(XQueryEvaluationError):
+            effective_boolean_value([1, 2])
+
+
+class TestToNumber:
+    def test_parses_strings(self):
+        assert to_number(" 42 ") == 42.0
+        assert to_number("1.5") == 1.5
+
+    def test_non_numeric_is_nan(self):
+        assert to_number("abc") != to_number("abc")
+
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+
+
+class TestCompareAtomics:
+    def test_untyped_vs_number_is_numeric(self):
+        assert compare_atomics("=", UntypedAtomic("02"), 2)
+        assert compare_atomics("<", UntypedAtomic("9"), 10)
+
+    def test_untyped_vs_untyped_is_textual(self):
+        assert not compare_atomics("=", UntypedAtomic("02"),
+                                   UntypedAtomic("2"))
+        assert compare_atomics("<", UntypedAtomic("10"),
+                               UntypedAtomic("9"))  # string order
+
+    def test_typed_string_vs_number_never_equal(self):
+        assert not compare_atomics("=", "2", 2)
+        assert compare_atomics("!=", "2", 2)
+
+    def test_typed_string_vs_number_not_ordered(self):
+        with pytest.raises(XQueryEvaluationError):
+            compare_atomics("<", "2", 2)
+
+    def test_booleans_not_ordered(self):
+        with pytest.raises(XQueryEvaluationError):
+            compare_atomics("<", True, False)
+
+
+class TestGeneralCompare:
+    def test_existential_semantics(self):
+        assert general_compare("=", [1, 2, 3], [5, 3])
+        assert not general_compare("=", [1, 2], [5, 3])
+
+    def test_empty_sequences_never_compare(self):
+        assert not general_compare("=", [], [1])
+        assert not general_compare("!=", [1], [])
+
+    def test_nodes_atomized(self):
+        element = Element("v", children=[Text("7")])
+        assert general_compare("=", [element], [7])

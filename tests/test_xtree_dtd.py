@@ -1,0 +1,200 @@
+"""Unit tests for DTD parsing, cardinalities and validation."""
+
+import pytest
+
+from repro.errors import DTDError, ValidationError
+from repro.xtree import parse_document, parse_dtd, validate
+from repro.xtree.dtd import (
+    UNBOUNDED,
+    iter_validation_errors,
+)
+
+
+SIMPLE = """
+<!ELEMENT review (track)+>
+<!ELEMENT track (name, rev+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT rev (name, sub*)>
+<!ELEMENT sub (title, auts+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT auts (name)>
+"""
+
+
+class TestParsing:
+    def test_element_declarations(self):
+        dtd = parse_dtd(SIMPLE)
+        assert set(dtd.elements) == {
+            "review", "track", "name", "rev", "sub", "title", "auts"}
+
+    def test_pcdata_detection(self):
+        dtd = parse_dtd(SIMPLE)
+        assert dtd.is_pcdata_only("name")
+        assert not dtd.is_pcdata_only("rev")
+
+    def test_root_detection(self):
+        dtd = parse_dtd(SIMPLE)
+        assert dtd.root() == "review"
+
+    def test_parents_of(self):
+        dtd = parse_dtd(SIMPLE)
+        assert sorted(dtd.parents_of("name")) \
+            == ["auts", "rev", "track"]
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a (#PCDATA)><!ELEMENT a (#PCDATA)>")
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert dtd.is_empty("a")
+        assert not dtd.is_empty("b")
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>")
+        assert dtd.child_cardinalities("a") == {"b": (0, UNBOUNDED)}
+
+    def test_malformed_rejected(self):
+        for text in ["<!ELEMENT a >", "<!ELEMENT a (b,|c)>",
+                     "<!WRONG a b>", "<!ELEMENT a (b | c, d)>"]:
+            with pytest.raises(DTDError):
+                parse_dtd(text)
+
+    def test_comments_between_declarations(self):
+        dtd = parse_dtd("<!-- c --><!ELEMENT a (#PCDATA)><!-- d -->")
+        assert dtd.is_pcdata_only("a")
+
+
+class TestCardinalities:
+    def test_sequence_cardinalities(self):
+        dtd = parse_dtd(SIMPLE)
+        assert dtd.child_cardinalities("sub") \
+            == {"title": (1, 1), "auts": (1, UNBOUNDED)}
+
+    def test_star_is_zero_to_unbounded(self):
+        dtd = parse_dtd(SIMPLE)
+        assert dtd.child_cardinalities("rev")["sub"] == (0, UNBOUNDED)
+
+    def test_optional(self):
+        dtd = parse_dtd("<!ELEMENT a (b?, c)><!ELEMENT b EMPTY>"
+                        "<!ELEMENT c EMPTY>")
+        cards = dtd.child_cardinalities("a")
+        assert cards["b"] == (0, 1)
+        assert cards["c"] == (1, 1)
+
+    def test_choice_cardinalities(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)><!ELEMENT b EMPTY>"
+                        "<!ELEMENT c EMPTY>")
+        cards = dtd.child_cardinalities("a")
+        assert cards["b"] == (0, 1)
+        assert cards["c"] == (0, 1)
+
+    def test_nested_group_scaling(self):
+        dtd = parse_dtd("<!ELEMENT a ((b, c)+)><!ELEMENT b EMPTY>"
+                        "<!ELEMENT c EMPTY>")
+        cards = dtd.child_cardinalities("a")
+        assert cards["b"] == (1, UNBOUNDED)
+
+    def test_repeated_name_in_sequence(self):
+        dtd = parse_dtd("<!ELEMENT a (b, b)><!ELEMENT b EMPTY>")
+        assert dtd.child_cardinalities("a")["b"] == (2, 2)
+
+
+class TestValidation:
+    def test_valid_document(self):
+        dtd = parse_dtd(SIMPLE)
+        document = parse_document(
+            "<review><track><name>DB</name><rev><name>A</name></rev>"
+            "</track></review>")
+        validate(document, dtd)  # should not raise
+
+    def test_missing_required_child(self):
+        dtd = parse_dtd(SIMPLE)
+        document = parse_document(
+            "<review><track><rev><name>A</name></rev></track></review>")
+        with pytest.raises(ValidationError):
+            validate(document, dtd)
+
+    def test_wrong_order(self):
+        dtd = parse_dtd(SIMPLE)
+        document = parse_document(
+            "<review><track><rev><name>A</name></rev><name>DB</name>"
+            "</track></review>")
+        with pytest.raises(ValidationError):
+            validate(document, dtd)
+
+    def test_text_in_element_content(self):
+        dtd = parse_dtd(SIMPLE)
+        document = parse_document(
+            "<review>stray<track><name>DB</name><rev><name>A</name>"
+            "</rev></track></review>")
+        with pytest.raises(ValidationError):
+            validate(document, dtd)
+
+    def test_element_in_pcdata_content(self):
+        dtd = parse_dtd(SIMPLE)
+        document = parse_document(
+            "<review><track><name><rev/></name><rev><name>A</name></rev>"
+            "</track></review>")
+        with pytest.raises(ValidationError):
+            validate(document, dtd)
+
+    def test_empty_content_model(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        with pytest.raises(ValidationError):
+            validate(parse_document("<a>x</a>"), dtd)
+
+    def test_iter_validation_errors_collects_all(self):
+        dtd = parse_dtd(SIMPLE)
+        document = parse_document(
+            "<review><track><rev/><rev/></track></review>")
+        errors = list(iter_validation_errors(document, dtd))
+        assert len(errors) >= 2
+
+    def test_choice_model_accepts_either_branch(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)+><!ELEMENT b EMPTY>"
+                        "<!ELEMENT c EMPTY>")
+        validate(parse_document("<a><b/><c/><b/></a>"), dtd)
+        with pytest.raises(ValidationError):
+            validate(parse_document("<a/>"), dtd)
+
+
+class TestAttributes:
+    DTD = """
+    <!ELEMENT a EMPTY>
+    <!ATTLIST a
+        id ID #REQUIRED
+        kind (x | y) "x"
+        fixed CDATA #FIXED "f">
+    """
+
+    def test_attlist_parsed(self):
+        dtd = parse_dtd(self.DTD)
+        defs = {d.name: d for d in dtd.attribute_defs("a")}
+        assert defs["id"].required
+        assert defs["kind"].enum_values == ("x", "y")
+        assert defs["fixed"].default_value == "f"
+
+    def test_required_attribute_enforced(self):
+        dtd = parse_dtd(self.DTD)
+        with pytest.raises(ValidationError):
+            validate(parse_document("<a/>"), dtd)
+
+    def test_enum_value_enforced(self):
+        dtd = parse_dtd(self.DTD)
+        with pytest.raises(ValidationError):
+            validate(parse_document('<a id="1" kind="z"/>'), dtd)
+
+    def test_fixed_value_enforced(self):
+        dtd = parse_dtd(self.DTD)
+        with pytest.raises(ValidationError):
+            validate(parse_document('<a id="1" fixed="g"/>'), dtd)
+
+    def test_undeclared_attribute_rejected(self):
+        dtd = parse_dtd(self.DTD)
+        with pytest.raises(ValidationError):
+            validate(parse_document('<a id="1" other="v"/>'), dtd)
+
+    def test_valid_attributes(self):
+        dtd = parse_dtd(self.DTD)
+        validate(parse_document('<a id="1" kind="y" fixed="f"/>'), dtd)

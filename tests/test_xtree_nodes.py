@@ -1,0 +1,187 @@
+"""Unit tests for the DOM node model."""
+
+import pytest
+
+from repro.xtree.node import Document, Element, Text
+
+
+def build_tree():
+    root = Element("review")
+    track = Element("track")
+    name = Element("name", children=[Text("DB")])
+    rev = Element("rev")
+    track.append(name)
+    track.append(rev)
+    root.append(track)
+    return Document(root), root, track, name, rev
+
+
+class TestIdentity:
+    def test_ids_assigned_on_document_creation(self):
+        document, root, track, name, rev = build_tree()
+        ids = [root.node_id, track.node_id, name.node_id, rev.node_id]
+        assert all(isinstance(i, int) for i in ids)
+        assert len(set(ids)) == 4
+
+    def test_ids_are_preorder(self):
+        document, root, track, name, rev = build_tree()
+        assert root.node_id < track.node_id < name.node_id < rev.node_id
+
+    def test_node_lookup_by_id(self):
+        document, root, track, *_ = build_tree()
+        assert document.node_by_id(track.node_id) is track
+
+    def test_new_nodes_get_fresh_ids(self):
+        document, root, track, name, rev = build_tree()
+        highest = max(n.node_id for n in root.iter()
+                      if isinstance(n, Element))
+        extra = Element("rev")
+        track.append(extra)
+        assert extra.node_id > highest
+
+    def test_removed_subtree_keeps_ids_but_leaves_index(self):
+        document, root, track, name, rev = build_tree()
+        rev_id = rev.node_id
+        track.remove(rev)
+        assert rev.node_id == rev_id
+        assert document.node_by_id(rev_id) is None
+
+    def test_reinsert_restores_identity(self):
+        document, root, track, name, rev = build_tree()
+        rev_id = rev.node_id
+        track.remove(rev)
+        track.append(rev)
+        assert rev.node_id == rev_id
+        assert document.node_by_id(rev_id) is rev
+
+    def test_ids_never_reused_after_removal(self):
+        document, root, track, name, rev = build_tree()
+        removed_id = rev.node_id
+        track.remove(rev)
+        replacement = Element("rev")
+        track.append(replacement)
+        assert replacement.node_id != removed_id
+
+
+class TestStructure:
+    def test_child_position_counts_all_element_siblings(self):
+        document, root, track, name, rev = build_tree()
+        assert name.child_position == 1
+        assert rev.child_position == 2
+
+    def test_child_position_of_root(self):
+        document, root, *_ = build_tree()
+        assert root.child_position == 1
+
+    def test_text_nodes_have_no_position(self):
+        text = Text("x")
+        parent = Element("p", children=[text])
+        with pytest.raises(TypeError):
+            _ = text.child_position
+
+    def test_sibling_position_counts_same_tag_only(self):
+        parent = Element("track")
+        parent.append(Element("name"))
+        first = parent.append(Element("rev"))
+        second = parent.append(Element("rev"))
+        assert first.sibling_position == 1
+        assert second.sibling_position == 2
+        assert second.child_position == 3
+
+    def test_insert_after_and_before(self):
+        parent = Element("rev")
+        a = parent.append(Element("sub"))
+        c = parent.append(Element("sub"))
+        b = Element("sub")
+        parent.insert_after(a, b)
+        assert parent.children == [a, b, c]
+        z = Element("sub")
+        parent.insert_before(a, z)
+        assert parent.children == [z, a, b, c]
+
+    def test_cannot_insert_attached_node(self):
+        parent = Element("rev")
+        child = parent.append(Element("sub"))
+        other = Element("rev")
+        with pytest.raises(ValueError):
+            other.append(child)
+
+    def test_remove_non_child_raises(self):
+        parent = Element("rev")
+        with pytest.raises(ValueError):
+            parent.remove(Element("sub"))
+
+    def test_ancestors(self):
+        document, root, track, name, rev = build_tree()
+        assert list(rev.ancestors()) == [track, root]
+
+    def test_root(self):
+        document, root, track, name, rev = build_tree()
+        assert rev.root() is root
+        assert root.root() is root
+
+
+class TestContent:
+    def test_text_concatenates_direct_text_children(self):
+        element = Element("name",
+                          children=[Text("Ada "), Text("Lovelace")])
+        assert element.text() == "Ada Lovelace"
+
+    def test_text_ignores_descendant_text(self):
+        inner = Element("name", children=[Text("x")])
+        outer = Element("aut", children=[inner])
+        assert outer.text() == ""
+        assert outer.string_value() == "x"
+
+    def test_first_child(self):
+        parent = Element("rev")
+        name = parent.append(Element("name"))
+        parent.append(Element("sub"))
+        assert parent.first_child("name") is name
+        assert parent.first_child("missing") is None
+
+    def test_element_children_filter(self):
+        parent = Element("rev")
+        parent.append(Text("ws"))
+        name = parent.append(Element("name"))
+        sub = parent.append(Element("sub"))
+        assert parent.element_children() == [name, sub]
+        assert parent.element_children("sub") == [sub]
+
+    def test_iter_elements_preorder(self):
+        document, root, track, name, rev = build_tree()
+        tags = [e.tag for e in root.iter_elements()]
+        assert tags == ["review", "track", "name", "rev"]
+
+
+class TestLocationPath:
+    def test_singleton_children_have_no_index(self):
+        document, root, track, name, rev = build_tree()
+        assert rev.location_path() == "/review/track/rev"
+
+    def test_indexes_appear_with_same_tag_siblings(self):
+        document, root, track, name, rev = build_tree()
+        second = Element("rev")
+        track.append(second)
+        assert rev.location_path() == "/review/track/rev[1]"
+        assert second.location_path() == "/review/track/rev[2]"
+
+    def test_location_path_of_text_raises(self):
+        text = Text("x")
+        Element("p", children=[text])
+        with pytest.raises(TypeError):
+            text.location_path()
+
+
+class TestDocument:
+    def test_root_must_be_detached(self):
+        parent = Element("a")
+        child = parent.append(Element("b"))
+        with pytest.raises(ValueError):
+            Document(child)
+
+    def test_allocate_id_monotonic(self):
+        document, *_ = build_tree()
+        first = document.allocate_id()
+        second = document.allocate_id()
+        assert second == first + 1

@@ -1,0 +1,140 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xtree import parse_document, parse_fragment
+from repro.xtree.node import Element, Text
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        document = parse_document("<a/>")
+        assert document.root.tag == "a"
+        assert document.root.children == []
+
+    def test_nested_elements(self):
+        document = parse_document("<a><b><c/></b></a>")
+        tags = [e.tag for e in document.root.iter_elements()]
+        assert tags == ["a", "b", "c"]
+
+    def test_text_content(self):
+        document = parse_document("<a>hello</a>")
+        assert document.root.text() == "hello"
+
+    def test_attributes(self):
+        document = parse_document('<a x="1" y=\'two\'/>')
+        assert document.root.attributes == {"x": "1", "y": "two"}
+
+    def test_xml_declaration_and_comments(self):
+        document = parse_document(
+            "<?xml version='1.0'?><!-- hi --><a><!-- inner -->x</a>")
+        assert document.root.text() == "x"
+
+    def test_doctype_skipped(self):
+        document = parse_document(
+            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>t</a>")
+        assert document.root.text() == "t"
+
+    def test_processing_instruction_skipped(self):
+        document = parse_document("<a><?php echo ?>x</a>")
+        assert document.root.text() == "x"
+
+    def test_cdata(self):
+        document = parse_document("<a><![CDATA[<not<parsed&]]></a>")
+        assert document.root.text() == "<not<parsed&"
+
+    def test_qualified_names(self):
+        document = parse_document(
+            "<xupdate:modifications><xupdate:element name='sub'/>"
+            "</xupdate:modifications>")
+        assert document.root.tag == "xupdate:modifications"
+        assert document.root.children[0].tag == "xupdate:element"
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        document = parse_document("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert document.root.text() == "<>&'\""
+
+    def test_numeric_entities(self):
+        document = parse_document("<a>&#65;&#x42;</a>")
+        assert document.root.text() == "AB"
+
+    def test_entities_in_attributes(self):
+        document = parse_document('<a x="&amp;&lt;"/>')
+        assert document.root.attributes["x"] == "&<"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+
+class TestWhitespace:
+    def test_whitespace_between_elements_dropped(self):
+        document = parse_document("<a>\n  <b/>\n  <c/>\n</a>")
+        assert all(isinstance(child, Element)
+                   for child in document.root.children)
+
+    def test_significant_text_kept(self):
+        document = parse_document("<a> x </a>")
+        assert document.root.text() == " x "
+
+    def test_keep_whitespace_option(self):
+        document = parse_document("<a> <b/> </a>", keep_whitespace=True)
+        kinds = [type(child) for child in document.root.children]
+        assert kinds == [Text, Element, Text]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "<a>",
+        "<a></b>",
+        "<a",
+        "<a x=1/>",
+        '<a x="1" x="2"/>',
+        "<a/><b/>",
+        "text only",
+        "<a><!-- unterminated</a>",
+        "<a>&#x;</a>",
+    ])
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises((XMLParseError, ValueError)):
+            parse_document(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a>\n<b></c></a>")
+        assert info.value.line == 2
+
+
+class TestFragments:
+    def test_fragment_returns_detached_nodes(self):
+        nodes = parse_fragment("<sub><title>T</title></sub>")
+        assert len(nodes) == 1
+        assert nodes[0].parent is None
+        assert nodes[0].node_id is None
+
+    def test_fragment_multiple_top_level(self):
+        nodes = parse_fragment("<a/>text<b/>")
+        assert [getattr(n, "tag", "#text") for n in nodes] \
+            == ["a", "#text", "b"]
+
+    def test_fragment_rejects_stray_end_tag(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("</a>")
+
+
+class TestRoundTrip:
+    def test_structure_survives_reparse(self):
+        from repro.xtree import serialize
+        source = ('<review><track><name>DB &amp; IR</name>'
+                   '<rev><name>A</name><sub><title>T1</title>'
+                   '<auts><name>B</name></auts></sub></rev>'
+                   '</track></review>')
+        document = parse_document(source)
+        again = parse_document(serialize(document))
+        assert [e.tag for e in again.root.iter_elements()] \
+            == [e.tag for e in document.root.iter_elements()]
+        assert next(again.iter_elements("name")).text() == "DB & IR"

@@ -1,0 +1,55 @@
+"""Unit tests for XML serialization."""
+
+from repro.xtree import parse_document, serialize, serialize_fragment
+from repro.xtree.node import Element, Text
+
+
+class TestSerialize:
+    def test_compact_output(self):
+        document = parse_document("<a><b>x</b><c/></a>")
+        text = serialize(document, declaration=False)
+        assert text == "<a><b>x</b><c/></a>"
+
+    def test_declaration_prepended(self):
+        document = parse_document("<a/>")
+        assert serialize(document).startswith("<?xml")
+
+    def test_escaping_text(self):
+        root = Element("a", children=[Text("<&>")])
+        from repro.xtree.node import Document
+        text = serialize(Document(root), declaration=False)
+        assert text == "<a>&lt;&amp;&gt;</a>"
+
+    def test_escaping_attributes(self):
+        from repro.xtree.node import Document
+        root = Element("a", {"x": 'va"l&'})
+        text = serialize(Document(root), declaration=False)
+        assert 'x="va&quot;l&amp;"' in text
+
+    def test_pretty_print_keeps_text_elements_inline(self):
+        document = parse_document("<a><b>hello</b><c><d>x</d></c></a>")
+        pretty = serialize(document, indent=2, declaration=False)
+        assert "<b>hello</b>" in pretty
+        assert pretty.count("\n") >= 3
+
+    def test_round_trip_compact(self):
+        source = "<a><b>x &amp; y</b><c k=\"v\"/></a>"
+        document = parse_document(source)
+        assert serialize(document, declaration=False) == source
+
+    def test_round_trip_pretty(self):
+        source = "<a><b>x</b><c><d>deep</d></c></a>"
+        document = parse_document(source)
+        pretty = serialize(document, indent=2)
+        reparsed = parse_document(pretty)
+        assert serialize(reparsed, declaration=False) == source
+
+
+class TestSerializeFragment:
+    def test_detached_element(self):
+        element = Element("sub")
+        element.append(Element("title", children=[Text("T")]))
+        assert serialize_fragment(element) == "<sub><title>T</title></sub>"
+
+    def test_text_node(self):
+        assert serialize_fragment(Text("a<b")) == "a&lt;b"

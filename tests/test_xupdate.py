@@ -1,0 +1,247 @@
+"""Unit tests for XUpdate parsing, application and analysis."""
+
+import pytest
+
+from repro.datalog import Parameter as P
+from repro.errors import (
+    SimplificationError,
+    UpdateApplicationError,
+    XUpdateError,
+)
+from repro.datagen.running_example import (
+    SECTION_4_1_XUPDATE,
+    submission_xupdate,
+)
+from repro.xtree import parse_document, serialize
+from repro.xupdate import (
+    InsertOperation,
+    RemoveOperation,
+    analyze_operation,
+    apply_operation,
+    apply_text,
+    parse_modifications,
+)
+from repro.xupdate.analyze import signature_of
+
+
+class TestParsing:
+    def test_insert_after(self):
+        operations = parse_modifications(SECTION_4_1_XUPDATE)
+        assert len(operations) == 1
+        operation = operations[0]
+        assert isinstance(operation, InsertOperation)
+        assert operation.kind == "after"
+        assert operation.select == "/review/track[2]/rev[5]/sub[6]"
+
+    def test_element_constructor_builds_fragment(self):
+        operation = parse_modifications(SECTION_4_1_XUPDATE)[0]
+        fragment = operation.primary_element()
+        assert fragment.tag == "sub"
+        assert fragment.first_child("title").text() == "Taming Web Services"
+        auts = fragment.first_child("auts")
+        assert auts.first_child("name").text() == "Jack"
+
+    def test_xupdate_text_constructor(self):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/review/track[1]">
+            <xupdate:element name="rev">
+              <xupdate:element name="name">
+                <xupdate:text>Zoe</xupdate:text>
+              </xupdate:element>
+            </xupdate:element>
+          </xupdate:append>
+        </xupdate:modifications>"""
+        operation = parse_modifications(text)[0]
+        rev = operation.primary_element()
+        assert rev.first_child("name").text() == "Zoe"
+
+    def test_xupdate_attribute_constructor(self):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/r">
+            <xupdate:element name="item">
+              <xupdate:attribute name="kind">big</xupdate:attribute>
+            </xupdate:element>
+          </xupdate:append>
+        </xupdate:modifications>"""
+        operation = parse_modifications(text)[0]
+        assert operation.primary_element().attributes == {"kind": "big"}
+
+    def test_remove(self):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:remove select="//sub[1]"/>
+        </xupdate:modifications>"""
+        operation = parse_modifications(text)[0]
+        assert isinstance(operation, RemoveOperation)
+
+    @pytest.mark.parametrize("text", [
+        "<wrong/>",
+        """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate"/>""",
+        """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+           <xupdate:rename select="//a"/>
+        </xupdate:modifications>""",
+        """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+           <xupdate:insert-after><a/></xupdate:insert-after>
+        </xupdate:modifications>""",
+        """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+           <xupdate:insert-after select="//a"></xupdate:insert-after>
+        </xupdate:modifications>""",
+    ])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XUpdateError):
+            parse_modifications(text)
+
+
+class TestApplication:
+    def test_append(self, rev_doc):
+        before = len(list(rev_doc.iter_elements("sub")))
+        apply_text(rev_doc, submission_xupdate(1, 1, "T", "A"))
+        assert len(list(rev_doc.iter_elements("sub"))) == before + 1
+
+    def test_insert_after_position(self, rev_doc):
+        update = submission_xupdate(1, 1, "T", "A", kind="after")
+        applied = apply_text(rev_doc, update)
+        new_sub = applied[0].inserted[0]
+        # inserted after sub[1]; name is child 1, sub[1] child 2
+        assert new_sub.child_position == 3
+
+    def test_insert_before(self, rev_doc):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:insert-before select="/review/track[1]">
+            <track><name>New</name>
+              <rev><name>R</name>
+                <sub><title>T</title><auts><name>A</name></auts></sub>
+              </rev>
+            </track>
+          </xupdate:insert-before>
+        </xupdate:modifications>"""
+        apply_text(rev_doc, text)
+        first = rev_doc.root.element_children("track")[0]
+        assert first.first_child("name").text() == "New"
+
+    def test_remove_and_rollback(self, rev_doc):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:remove select="/review/track[1]/rev[1]/sub[1]"/>
+        </xupdate:modifications>"""
+        snapshot = serialize(rev_doc)
+        applied = apply_text(rev_doc, text)
+        assert serialize(rev_doc) != snapshot
+        applied[0].rollback()
+        assert serialize(rev_doc) == snapshot
+
+    def test_insert_rollback_restores_document(self, rev_doc):
+        snapshot = serialize(rev_doc)
+        applied = apply_text(rev_doc, submission_xupdate(2, 1, "T", "A"))
+        applied[0].rollback()
+        assert serialize(rev_doc) == snapshot
+
+    def test_double_rollback_rejected(self, rev_doc):
+        applied = apply_text(rev_doc, submission_xupdate(1, 1, "T", "A"))
+        applied[0].rollback()
+        with pytest.raises(UpdateApplicationError):
+            applied[0].rollback()
+
+    def test_unresolvable_select_rejected(self, rev_doc):
+        with pytest.raises(UpdateApplicationError):
+            apply_text(rev_doc, submission_xupdate(9, 9, "T", "A"))
+
+    def test_content_is_copied_per_application(self, rev_doc):
+        update = submission_xupdate(1, 1, "T", "A")
+        operation = parse_modifications(update)[0]
+        first = apply_operation(rev_doc, operation)
+        second = apply_operation(rev_doc, operation)
+        assert first.inserted[0] is not second.inserted[0]
+        assert first.inserted[0].node_id != second.inserted[0].node_id
+
+
+class TestAnalysis:
+    def test_paper_pattern(self, relational_schema):
+        operation = parse_modifications(SECTION_4_1_XUPDATE)[0]
+        analyzed = analyze_operation(operation, relational_schema)
+        assert str(analyzed.pattern) \
+            == "{sub(is,ps,ir,t), auts(ia,pa,is,n)}"
+        assert analyzed.pattern.fresh_parameters \
+            == frozenset({P("is"), P("ia")})
+
+    def test_paper_delta(self, relational_schema):
+        operation = parse_modifications(SECTION_4_1_XUPDATE)[0]
+        analyzed = analyze_operation(operation, relational_schema)
+        assert sorted(str(d) for d in analyzed.hypotheses) == [
+            "← auts(_,_,is,_)",
+            "← auts(ia,_,_,_)",
+            "← sub(is,_,_,_)",
+        ]
+
+    def test_signature_matches_same_shape(self, relational_schema):
+        first = parse_modifications(
+            submission_xupdate(1, 1, "X", "Y"))[0]
+        second = parse_modifications(
+            submission_xupdate(3, 7, "Other", "Names"))[0]
+        assert signature_of(first, relational_schema) \
+            == signature_of(second, relational_schema)
+
+    def test_signature_differs_for_different_shape(self, relational_schema):
+        single = parse_modifications(submission_xupdate(1, 1, "X", "Y"))[0]
+        double = parse_modifications("""<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/review/track[1]/rev[1]">
+            <sub><title>T</title>
+              <auts><name>A</name></auts><auts><name>B</name></auts>
+            </sub>
+          </xupdate:append>
+        </xupdate:modifications>""")[0]
+        assert signature_of(single, relational_schema) \
+            != signature_of(double, relational_schema)
+
+    def test_binding_of_concrete_update(self, relational_schema, rev_doc):
+        update = submission_xupdate(1, 2, "My Title", "My Author")
+        operation = parse_modifications(update)[0]
+        analyzed = analyze_operation(operation, relational_schema)
+        bindings = analyzed.bind(rev_doc, operation)
+        assert bindings["t"] == "My Title"
+        assert bindings["n"] == "My Author"
+        grace = bindings["ir"]
+        assert grace.first_child("name").text() == "Grace"
+        # Grace has name + 1 sub → append position 3
+        assert bindings["ps"] == 3
+        assert bindings["pa"] == 2
+
+    def test_remove_not_analyzable(self, relational_schema):
+        operation = RemoveOperation("//sub[1]")
+        with pytest.raises(SimplificationError):
+            analyze_operation(operation, relational_schema)
+
+    def test_unknown_fragment_tag_rejected(self, relational_schema):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/review/track[1]/rev[1]">
+            <mystery/>
+          </xupdate:append>
+        </xupdate:modifications>"""
+        operation = parse_modifications(text)[0]
+        with pytest.raises(XUpdateError):
+            analyze_operation(operation, relational_schema)
+
+    def test_two_author_pattern_names_deduped(self, relational_schema):
+        text = """<xupdate:modifications
+            xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="/review/track[1]/rev[1]">
+            <sub><title>T</title>
+              <auts><name>A</name></auts><auts><name>B</name></auts>
+            </sub>
+          </xupdate:append>
+        </xupdate:modifications>"""
+        operation = parse_modifications(text)[0]
+        analyzed = analyze_operation(operation, relational_schema)
+        auts_atoms = analyzed.pattern.additions_for("auts")
+        assert len(auts_atoms) == 2
+        names = {atom.args[3] for atom in auts_atoms}
+        assert len(names) == 2  # distinct value parameters
