@@ -1,7 +1,7 @@
 PYTHON ?= python3
 BENCH_SIZES ?= 32,64,128
 
-.PHONY: install test bench examples lint clean
+.PHONY: install test bench bench-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -13,6 +13,14 @@ bench:
 	REPRO_BENCH_SIZES_KIB=$(BENCH_SIZES) \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-sort=mean
+
+# one-round smoke of the prepared-plan ablation on the smallest
+# corpus; emits BENCH_prepared.json for CI artifacts/trend lines
+bench-smoke:
+	REPRO_BENCH_SIZES_KIB=32 \
+		$(PYTHON) -m pytest benchmarks/test_prepared_queries.py \
+		--benchmark-only --benchmark-min-rounds=1 \
+		--benchmark-json=BENCH_prepared.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

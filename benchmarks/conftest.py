@@ -99,7 +99,25 @@ class CheckScenario:
                    for query in self.constraint.full_queries)
 
     def optimized_check(self, operation=None) -> bool:
-        """Curve (ii): evaluate the simplified constraint (squares)."""
+        """Curve (ii): evaluate the simplified constraint (squares).
+
+        Uses the prepared plans (compile-once ASTs, variable-bound
+        parameters) — the production path of :class:`IntegrityGuard`.
+        """
+        operation = operation or self.legal_operation
+        bindings = self.pattern_checks.analyzed.bind(self.rev_doc,
+                                                     operation)
+        for check in self.pattern_checks.optimized:
+            if check.constraint.name != self.constraint.name:
+                continue
+            for query in check.queries:
+                if query.truth(self.documents, bindings):
+                    return True
+        return False
+
+    def optimized_check_text(self, operation=None) -> bool:
+        """The pre-prepared-plan baseline: splice parameter text into
+        the check and re-lex/re-parse it on every evaluation."""
         from repro.xquery.engine import query_truth
         operation = operation or self.legal_operation
         bindings = self.pattern_checks.analyzed.bind(self.rev_doc,

@@ -32,7 +32,6 @@ from repro.errors import (
     UpdateApplicationError,
 )
 from repro.relational.shredder import shred, subtree_facts
-from repro.xquery.engine import query_truth
 from repro.xtree.node import Document, Element
 from repro.xupdate.analyze import signature_of
 from repro.xupdate.apply import AppliedOperation, apply_operation
@@ -63,6 +62,10 @@ class _CheckerBase:
                  documents: list[Document]) -> None:
         self.schema = schema
         self.documents = list(documents)
+        #: root tag → document; selects start at the root element, so
+        #: this resolves the owning document without probing
+        self._documents_by_root = {
+            document.root.tag: document for document in self.documents}
         self._listeners: list = []
 
     def subscribe(self, listener) -> None:
@@ -86,9 +89,9 @@ class _CheckerBase:
         """
         select = operation.select
         first = select.lstrip("/").split("/")[0].split("[")[0]
-        for document in self.documents:
-            if document.root.tag == first:
-                return document
+        document = self._documents_by_root.get(first)
+        if document is not None:
+            return document
         # descendant-anchored selects: try them all
         for document in self.documents:
             try:
@@ -108,7 +111,7 @@ class _CheckerBase:
                 if query.parameters:
                     raise SimplificationError(
                         "full constraint checks cannot have parameters")
-                if query_truth(query.text, self.documents):
+                if query.truth(self.documents):
                     violated.append(constraint.name)
                     break
         return violated
@@ -211,8 +214,7 @@ class IntegrityGuard(_CheckerBase):
             if check.trivial:
                 continue
             for query in check.queries:
-                if query_truth(query.instantiate(bindings),
-                               self.documents):
+                if query.truth(self.documents, bindings):
                     violated.append(check.constraint.name)
                     break
         if checks.fallback:
@@ -254,8 +256,7 @@ class IntegrityGuard(_CheckerBase):
             if check.trivial:
                 continue
             for query in check.queries:
-                text = query.instantiate(bindings)
-                if query_truth(text, self.documents):
+                if query.truth(self.documents, bindings):
                     violated.append(check.constraint.name)
                     break
         if checks.fallback:
@@ -273,14 +274,10 @@ class IntegrityGuard(_CheckerBase):
         Removing tuples cannot create a new satisfying binding for a
         positive denial body with upward-monotone aggregates (see
         repro.simplify.deletion); constraints outside that fragment are
-        verified by the brute-force probe.
+        verified by the brute-force probe.  Safety per constraint is
+        decided once, at schema-compile time.
         """
-        from repro.simplify.deletion import deletion_safe
-        unsafe = [
-            constraint.name for constraint in self.schema.constraints
-            if any(not deletion_safe(denial)
-                   for denial in constraint.denials)
-        ]
+        unsafe = self.schema.deletion_unsafe_constraints()
         if not unsafe:
             return UpdateDecision(True, optimized=True)
         return self._brute_force_probe(operation, only=unsafe)

@@ -135,6 +135,7 @@ class ConstraintSchema:
             queries = translate_denials(denials, self.relational)
             self.constraints.append(
                 CompiledConstraint(name, source, denials, queries))
+        self._deletion_unsafe = self._compute_deletion_unsafe()
 
     # -- pattern registration ---------------------------------------------------
 
@@ -258,6 +259,24 @@ class ConstraintSchema:
             compiled.denials = optimize(compiled.denials, trusted)
             compiled.full_queries = translate_denials(
                 compiled.denials, self.relational)
+        self._deletion_unsafe = self._compute_deletion_unsafe()
+
+    def deletion_unsafe_constraints(self) -> list[str]:
+        """Names of constraints a deletion could violate.
+
+        Decided once per constraint set (here and in ``__init__``), so
+        the run-time removal check is a list lookup instead of a
+        ``deletion_safe`` sweep over every denial per operation.
+        """
+        return self._deletion_unsafe
+
+    def _compute_deletion_unsafe(self) -> list[str]:
+        from repro.simplify.deletion import deletion_safe
+        return [
+            compiled.name for compiled in self.constraints
+            if any(not deletion_safe(denial)
+                   for denial in compiled.denials)
+        ]
 
     def describe(self) -> str:
         """Human-readable summary of the compiled schema."""

@@ -7,6 +7,7 @@ the roots of every document in the collection, in collection order.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
@@ -144,9 +145,38 @@ def _evaluate_path(path: PathExpr, context: QueryContext) -> Sequence:
         current = _evaluate(path.start, context)
     for step, descendant in zip(path.steps, path.descendant_flags):
         if descendant:
+            fast = _indexed_tag_step(step, current)
+            if fast is not None:
+                current = fast
+                continue
             current = _descendant_or_self(current)
         current = _apply_step(step, current, context)
     return current
+
+
+def _indexed_tag_step(step: AxisStep, sequence: Sequence) -> Sequence | None:
+    """``//tag`` over whole documents, served by the per-tag index.
+
+    Applicable when every context item is a document and the step is a
+    plain named child step without predicates: the result is exactly
+    the document's elements with that tag, which
+    :meth:`repro.xtree.node.Document.elements_by_tag` maintains
+    incrementally.  Predicated steps keep the generic path (their
+    candidate lists are per-parent).  Returns ``None`` when not
+    applicable.
+    """
+    if step.axis != "child" or step.predicates \
+            or step.nodetest in ("*", "node()", "text()", "position()"):
+        return None
+    if not all(isinstance(item, Document) for item in sequence):
+        return None
+    result: Sequence = []
+    seen: set[int] = set()
+    for document in sequence:
+        if id(document) not in seen:
+            seen.add(id(document))
+            result.extend(document.elements_by_tag(step.nodetest))
+    return result
 
 
 def _descendant_or_self(sequence: Sequence) -> Sequence:
@@ -400,9 +430,79 @@ def _evaluate_quantified(expression: Quantified,
     return [_evaluate_every(expression, context)]
 
 
-#: (source expr, key expr, document revisions) → hash index.  Bounded;
-#: invalidated structurally by the revision counters in the key.
-_INDEX_CACHE: dict[tuple, dict[tuple, list]] = {}
+class _IndexLRU:
+    """Bounded LRU cache for value indexes.
+
+    Entries are keyed by (source, key expression, dependency tags,
+    per-document tag revisions), so an index survives every update that
+    does not touch the node types it was built from, and eviction
+    retires one cold entry at a time instead of dumping the whole
+    cache.  ``hits``/``misses`` are observability hooks for tests and
+    benchmarks.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, dict[tuple, list]]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> "dict[tuple, list] | None":
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: "dict[tuple, list]") -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: value indexes for hash joins — the stand-in for a native XML
+#: database's value index (see :func:`_hash_index`)
+_INDEX_CACHE = _IndexLRU()
+
+
+def _index_cache_key(source: "Expression", key_side: "Expression",
+                     context: QueryContext) -> tuple:
+    """Cache key whose revision component is as narrow as possible.
+
+    When the dependency tags of both expressions are statically known,
+    the key carries only those tags' revision counters; otherwise it
+    falls back to the documents' global revisions.
+    """
+    from repro.xquery.optimizer import index_dependencies
+
+    tags = index_dependencies(source)
+    if tags is not None:
+        key_tags = index_dependencies(key_side)
+        tags = None if key_tags is None else frozenset(tags | key_tags)
+    if tags is None:
+        state = tuple((id(document), document.revision)
+                      for document in context.documents)
+        return (source, key_side, None, state)
+    ordered = tuple(sorted(tags))
+    state = tuple(
+        (id(document),
+         tuple(document.tag_revision(tag) for tag in ordered))
+        for document in context.documents)
+    return (source, key_side, ordered, state)
 
 
 def _hash_index(name: str, source: "Expression", key_side: "Expression",
@@ -411,8 +511,9 @@ def _hash_index(name: str, source: "Expression", key_side: "Expression",
 
     When the source depends only on the documents (no variables), the
     index is cached across evaluations and invalidated by the
-    documents' revision counters — the stand-in for a native XML
-    database's value index, and what makes nested ``not(some ...)``
+    revision counters embedded in the cache key — per-tag counters when
+    the dependency analysis can bound the tags, the whole-document
+    counter otherwise.  This is what makes nested ``not(some ...)``
     anti-joins linear instead of quadratic.
     """
     from repro.xquery.optimizer import (
@@ -424,11 +525,7 @@ def _hash_index(name: str, source: "Expression", key_side: "Expression",
         and free_variables(key_side) <= {name}
     cache_key: tuple | None = None
     if cacheable:
-        cache_key = (
-            source, key_side,
-            tuple((id(document), document.revision)
-                  for document in context.documents),
-        )
+        cache_key = _index_cache_key(source, key_side, context)
         cached = _INDEX_CACHE.get(cache_key)
         if cached is not None:
             return cached
@@ -439,9 +536,7 @@ def _hash_index(name: str, source: "Expression", key_side: "Expression",
             for key in hash_keys(value):
                 index_map.setdefault(key, []).append(item)
     if cache_key is not None:
-        if len(_INDEX_CACHE) > 256:
-            _INDEX_CACHE.clear()
-        _INDEX_CACHE[cache_key] = index_map
+        _INDEX_CACHE.put(cache_key, index_map)
     return index_map
 
 

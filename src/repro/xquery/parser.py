@@ -354,8 +354,23 @@ def _parse_constructor(raw: str, token: Token) -> ElementConstructor:
     return ElementConstructor(element.tag, attributes, tuple(children))
 
 
+_parse_calls = 0
+
+
+def parse_calls() -> int:
+    """Total :func:`parse_query` invocations in this process.
+
+    Observability hook for the prepared-plan guarantees: the run-time
+    checking tests snapshot this counter around ``try_execute`` and
+    assert that pattern-matched updates trigger no query parsing.
+    """
+    return _parse_calls
+
+
 def parse_query(text: str) -> Expression:
     """Parse an XQuery expression of the supported fragment."""
+    global _parse_calls
+    _parse_calls += 1
     parser = _Parser(tokenize(text))
     expression = parser.parse_expr()
     parser.expect("EOF", "end of query")

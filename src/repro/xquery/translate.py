@@ -26,7 +26,7 @@ evaluation of the same denial is the differential-testing oracle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.datalog.atoms import (
@@ -44,12 +44,19 @@ from repro.datalog.terms import (
     Term,
     Variable,
 )
-from repro.errors import CompilationError
+from repro.errors import CompilationError, XQueryError
 from repro.relational.schema import PredicateSchema, RelationalSchema
-from repro.xtree.node import Element
+from repro.xquery.ast import Expression
+from repro.xquery.parser import parse_query
+from repro.xtree.node import Document, Element
 
 _OP_SYMBOLS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">",
                "ge": ">="}
+
+#: prefix of the external XQuery variables that carry parameter values
+#: in prepared plans.  Translator-generated variable names never start
+#: with an underscore (see ``_Translator._name_for``), so no collision.
+PARAM_VARIABLE_PREFIX = "__p_"
 
 
 @dataclass
@@ -57,32 +64,102 @@ class TranslatedQuery:
     """An XQuery check with update-time placeholders.
 
     ``text`` contains ``%{name}`` tokens; ``parameters`` maps each name
-    to its kind: ``"node"`` (replaced by the location path of a bound
-    element) or ``"value"`` (replaced by a literal).
+    to its kind: ``"node"`` (a bound element) or ``"value"`` (a scalar).
+
+    ``prepared`` is the *prepared plan*: ``text`` parsed once, at
+    schema-compile time, with every ``%{name}`` token replaced by the
+    external variable ``$__p_name``.  At update time the parameters are
+    bound as context variables (:meth:`variables_for`) — node
+    parameters directly to the live element, with no location-path
+    rendering, re-resolution or literal quoting — and the AST is
+    evaluated as-is (:meth:`truth`).  The legacy text path
+    (:meth:`instantiate`) remains for ad-hoc queries and as the
+    differential-testing baseline.
     """
 
     text: str
     parameters: dict[str, str]
     denial: Denial
+    #: compile-time AST with parameters as external variables; ``None``
+    #: only if the prepared text failed to parse (never for the
+    #: translator's own output — a safety net for hand-built queries)
+    prepared: Expression | None = None
+    #: parameter name → external variable name used in ``prepared``
+    variable_names: dict[str, str] = field(default_factory=dict)
 
     def instantiate(self, bindings: Mapping[str, object]) -> str:
         """Fill the placeholders with concrete update values."""
         text = self.text
         for name, kind in self.parameters.items():
-            if name not in bindings:
-                raise CompilationError(
-                    f"missing binding for parameter {name!r}")
-            value = bindings[name]
+            value = self._binding(bindings, name, kind)
             if kind == "node":
-                if not isinstance(value, Element):
-                    raise CompilationError(
-                        f"parameter {name!r} needs an element, got "
-                        f"{type(value).__name__}")
-                rendered = value.location_path()
+                rendered = value.location_path()  # type: ignore[union-attr]
             else:
                 rendered = _literal(value)
             text = text.replace("%{" + name + "}", rendered)
         return text
+
+    def variables_for(
+            self, bindings: Mapping[str, object]) -> dict[str, list]:
+        """External-variable bindings for the prepared plan.
+
+        Node parameters become singleton node sequences (the live
+        element itself), value parameters singleton atomics.
+        """
+        variables: dict[str, list] = {}
+        for name, kind in self.parameters.items():
+            value = self._binding(bindings, name, kind)
+            variables[self.variable_names[name]] = [value]
+        return variables
+
+    def truth(self, documents: "list[Document] | Document",
+              bindings: Mapping[str, object] | None = None) -> bool:
+        """Evaluate the check without re-parsing any query text.
+
+        Uses the prepared plan with variable-bound parameters when
+        available, falling back to instantiate-and-parse otherwise.
+        """
+        from repro.xquery.engine import query_truth
+
+        if self.prepared is not None:
+            variables = self.variables_for(bindings or {}) \
+                if self.parameters else None
+            return query_truth(self.prepared, documents, variables)
+        return query_truth(self.instantiate(bindings or {}), documents)
+
+    def _binding(self, bindings: Mapping[str, object], name: str,
+                 kind: str) -> object:
+        if name not in bindings:
+            raise CompilationError(
+                f"missing binding for parameter {name!r}")
+        value = bindings[name]
+        if kind == "node" and not isinstance(value, Element):
+            raise CompilationError(
+                f"parameter {name!r} needs an element, got "
+                f"{type(value).__name__}")
+        return value
+
+
+def prepare_query(text: str,
+                  parameters: dict[str, str]) -> tuple[
+                      Expression | None, dict[str, str]]:
+    """Parse placeholder text once into a prepared (AST, variables) plan.
+
+    Every ``%{name}`` token is rewritten to the external variable
+    ``$__p_name`` and the result parsed.  Returns ``(None, names)``
+    when the rewritten text is outside the parsable fragment, in which
+    case callers fall back to the instantiate-text path.
+    """
+    variable_names = {
+        name: PARAM_VARIABLE_PREFIX + name for name in parameters}
+    prepared_text = text
+    for name, variable in variable_names.items():
+        prepared_text = prepared_text.replace(
+            "%{" + name + "}", "$" + variable)
+    try:
+        return parse_query(prepared_text), variable_names
+    except XQueryError:
+        return None, variable_names
 
 
 def _literal(value: object) -> str:
@@ -199,7 +276,10 @@ class _Translator:
             text = f"some {defs} satisfies {condition_text}"
         else:
             text = condition_text
-        return TranslatedQuery(text, dict(self.parameters), self.denial)
+        parameters = dict(self.parameters)
+        prepared, variable_names = prepare_query(text, parameters)
+        return TranslatedQuery(text, parameters, self.denial, prepared,
+                               variable_names)
 
     def _sorted_atoms(self) -> list[Atom]:
         """Atoms ordered so a node is defined before it is used as a

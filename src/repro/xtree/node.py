@@ -245,9 +245,16 @@ class Document:
     integers, assigned in adoption order, and never reused — a removed
     subtree keeps its ids but new nodes always get ids strictly greater
     than any ever assigned.
+
+    The document also maintains an *incremental element-by-tag index*:
+    every adopt/orphan keeps a per-tag bucket of attached elements and a
+    per-tag revision counter.  Query engines use the buckets to answer
+    ``//tag`` steps without walking the tree, and the tag revisions to
+    invalidate derived caches only when a relevant node type changed.
     """
 
-    __slots__ = ("root", "_next_id", "_nodes_by_id", "revision")
+    __slots__ = ("root", "_next_id", "_nodes_by_id", "revision",
+                 "_elements_by_tag", "_tag_revisions", "_tag_order_cache")
 
     def __init__(self, root: Element) -> None:
         if root.parent is not None:
@@ -258,6 +265,13 @@ class Document:
         #: monotone change counter; bumped by every adopt/orphan so
         #: query engines can cache derived structures safely
         self.revision = 0
+        #: tag → {node_id: element} of currently attached elements
+        self._elements_by_tag: dict[str, dict[int, Element]] = {}
+        #: tag → monotone counter, bumped when a node of (or under) the
+        #: tag is attached or detached
+        self._tag_revisions: dict[str, int] = {}
+        #: tag → (tag revision, document-ordered element list)
+        self._tag_order_cache: dict[str, tuple[int, list[Element]]] = {}
         root.document = None  # adopt() sets it
         self.adopt(root)
 
@@ -276,19 +290,71 @@ class Document:
                 self._next_id = max(self._next_id, current.node_id + 1)
             self._nodes_by_id[current.node_id] = current
             if isinstance(current, Element):
+                self._index_element(current)
                 stack.extend(reversed(current.children))
+            elif isinstance(current, Text) and current.parent is not None:
+                # a text change is a change to its parent's node type
+                self._bump_tag(current.parent.tag)
 
     def orphan(self, node: Node) -> None:
         """Unregister ``node`` and its subtree from the id index."""
         self.revision += 1
+        if isinstance(node, Text) and node.parent is not None:
+            self._bump_tag(node.parent.tag)
         stack = [node]
         while stack:
             current = stack.pop()
             current.document = None
             if current.node_id is not None:
                 self._nodes_by_id.pop(current.node_id, None)
+                if isinstance(current, Element):
+                    bucket = self._elements_by_tag.get(current.tag)
+                    if bucket is not None:
+                        bucket.pop(current.node_id, None)
+                    self._bump_tag(current.tag)
             if isinstance(current, Element):
                 stack.extend(reversed(current.children))
+
+    # -- element-by-tag index ------------------------------------------------
+
+    def _index_element(self, element: Element) -> None:
+        assert element.node_id is not None
+        self._elements_by_tag.setdefault(
+            element.tag, {})[element.node_id] = element
+        self._bump_tag(element.tag)
+
+    def _bump_tag(self, tag: str) -> None:
+        self._tag_revisions[tag] = self._tag_revisions.get(tag, 0) + 1
+        self._tag_order_cache.pop(tag, None)
+
+    def tag_revision(self, tag: str) -> int:
+        """Change counter for one node type (0 if never present).
+
+        Bumped whenever an element with this tag — or a text node
+        directly under one — is attached or detached.  Caches derived
+        from a set of tags stay valid while all their tag revisions do.
+        """
+        return self._tag_revisions.get(tag, 0)
+
+    def elements_by_tag(self, tag: str) -> list[Element]:
+        """All attached elements with ``tag``, in document order.
+
+        Served from the incremental index; the document-order sort is
+        computed lazily and cached per tag revision, so repeated
+        ``//tag`` steps between updates cost a dictionary lookup.
+        Mutating the returned list is not allowed.
+        """
+        revision = self._tag_revisions.get(tag, 0)
+        cached = self._tag_order_cache.get(tag)
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        bucket = self._elements_by_tag.get(tag)
+        if not bucket:
+            elements: list[Element] = []
+        else:
+            elements = sorted(bucket.values(), key=_document_order_key)
+        self._tag_order_cache[tag] = (revision, elements)
+        return elements
 
     def allocate_id(self) -> int:
         """Return a fresh node identifier (never used in this document)."""
@@ -306,3 +372,14 @@ class Document:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Document(root={self.root.tag!r}, nodes={len(self._nodes_by_id)})"
+
+
+def _document_order_key(element: Element) -> tuple[int, ...]:
+    """Preorder sort key: the chain of child indexes from the root."""
+    indexes: list[int] = []
+    node: Node = element
+    while node.parent is not None:
+        indexes.append(node.parent._child_index(node))
+        node = node.parent
+    indexes.reverse()
+    return tuple(indexes)

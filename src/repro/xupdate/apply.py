@@ -9,9 +9,11 @@ compensating action" — here the exact inverse operation recorded by
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import UpdateApplicationError
+from repro.xquery.ast import Expression
 from repro.xquery.engine import evaluate_query
 from repro.xquery.parser import parse_query
 from repro.xtree.node import Document, Element, Node
@@ -50,9 +52,30 @@ class AppliedOperation:
         self.rolled_back = True
 
 
+#: select text → parsed path, LRU-bounded.  Selects repeat heavily
+#: (every update against the same anchor re-resolves the same path) and
+#: parsing them per operation is the last run-time lexing the guard
+#: would otherwise do.
+_SELECT_CACHE: "OrderedDict[str, Expression]" = OrderedDict()
+_SELECT_CACHE_CAPACITY = 512
+
+
+def parsed_select(select: str) -> Expression:
+    """The (cached) parse of a select path."""
+    expression = _SELECT_CACHE.get(select)
+    if expression is None:
+        expression = parse_query(select)
+        _SELECT_CACHE[select] = expression
+        if len(_SELECT_CACHE) > _SELECT_CACHE_CAPACITY:
+            _SELECT_CACHE.popitem(last=False)
+    else:
+        _SELECT_CACHE.move_to_end(select)
+    return expression
+
+
 def resolve_select(document: Document, select: str) -> Element:
     """Resolve a select path to a single element of the document."""
-    result = evaluate_query(parse_query(select), document)
+    result = evaluate_query(parsed_select(select), document)
     elements = [item for item in result if isinstance(item, Element)]
     if not elements:
         raise UpdateApplicationError(
