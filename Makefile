@@ -22,6 +22,16 @@ bench-smoke:
 		--benchmark-only --benchmark-min-rounds=1 \
 		--benchmark-json=BENCH_prepared.json
 
+# static tooling (pip install -e .[lint]); constraint linting of the
+# examples corpus runs with no extra dependencies
+lint:
+	$(PYTHON) -m ruff check src/
+	$(PYTHON) -m mypy src/repro
+	$(PYTHON) -m repro lint \
+		--dtd examples/corpus/pub.dtd --dtd examples/corpus/rev.dtd \
+		--constraints-file examples/corpus/constraints.txt \
+		--pattern examples/corpus/submission.xml
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/publication_registry.py

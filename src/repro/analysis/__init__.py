@@ -1,0 +1,45 @@
+"""Compile-time static analysis of constraint schemas.
+
+The linter front door is :func:`repro.analysis.lint.lint_sources`; the
+individual passes live in :mod:`~repro.analysis.satisfiability`
+(``XIC1xx``), :mod:`~repro.analysis.safety` (``XIC2xx``),
+:mod:`~repro.analysis.redundancy` (``XIC3xx``) and
+:mod:`~repro.analysis.patterns` (``XIC4xx``).
+
+Only the diagnostic model and the (dependency-light) safety pass are
+re-exported here: ``repro.datalog.evaluate`` references the safety
+codes lazily and must not drag the whole analysis stack — let alone
+``repro.core`` — into its import graph.
+"""
+
+from repro.analysis.diagnostic import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    make_diagnostic,
+    max_severity,
+)
+from repro.analysis.safety import (
+    UNSAFE_AGGREGATE,
+    UNSAFE_COMPARISON,
+    UNSAFE_NEGATION,
+    bound_variables,
+    denial_safety_issues,
+)
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Diagnostic",
+    "make_diagnostic",
+    "max_severity",
+    "UNSAFE_AGGREGATE",
+    "UNSAFE_COMPARISON",
+    "UNSAFE_NEGATION",
+    "bound_variables",
+    "denial_safety_issues",
+]

@@ -1,0 +1,146 @@
+"""Update-pattern analysis against the DTDs (codes ``XIC4xx``).
+
+The paper's design-time step analyzes an update *pattern* once and
+reuses the simplified checks for every matching concrete update.  This
+pass vets the pattern itself before any simplification happens:
+
+* ``XIC401`` — a fragment value parameter cannot be typed against the
+  DTD: an attribute nobody declares, or character data where the
+  content model is element-only;
+* ``XIC402`` — the pattern matches no DTD-valid update at all: an
+  undeclared fragment element, a child the parent's content model
+  forbids, a fragment that violates its own content models, or a
+  missing required attribute (the post-update document could never
+  validate);
+* ``XIC403`` — a pattern/constraint pair whose optimized check is
+  *always violated*: every update matching the pattern breaks the
+  constraint (factory only; computed where ``OptimizedCheck`` lives);
+* ``XIC404`` — a pattern/constraint pair that fell back to brute force
+  (informational; factory only).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostic import Diagnostic, make_diagnostic
+from repro.analysis.satisfiability import DTDView
+from repro.errors import XUpdateError
+from repro.relational.schema import RelationalSchema
+from repro.xtree.node import Element
+from repro.xupdate.analyze import fragment_elements, insertion_parent_tag
+from repro.xupdate.parser import InsertOperation, Operation, RemoveOperation
+
+
+def pattern_diagnostics(name: str, operation: Operation,
+                        schema: RelationalSchema, view: DTDView,
+                        source: str | None = None) -> list[Diagnostic]:
+    """DTD diagnostics for one update operation/pattern."""
+    if isinstance(operation, RemoveOperation):
+        return []  # deletions reference existing nodes only
+    assert isinstance(operation, InsertOperation)
+    diagnostics: list[Diagnostic] = []
+    try:
+        parent_tag = insertion_parent_tag(operation, schema)
+    except XUpdateError as error:
+        diagnostics.append(make_diagnostic(
+            "XIC402", f"cannot type the insertion point: {error}",
+            subject=name, source=source,
+            hint="point the select at a concrete element type"))
+        return diagnostics
+    if not view.declares(parent_tag):
+        diagnostics.append(make_diagnostic(
+            "XIC402",
+            f"insertion parent <{parent_tag}> is not declared in any DTD",
+            subject=name, source=source))
+        return diagnostics
+    top_level = [node for node in operation.content
+                 if isinstance(node, Element)]
+    for element in top_level:
+        if view.declares(element.tag) \
+                and element.tag not in view.children(parent_tag):
+            diagnostics.append(make_diagnostic(
+                "XIC402",
+                f"<{element.tag}> cannot be inserted under "
+                f"<{parent_tag}>: the content model does not allow it",
+                subject=name, source=source,
+                hint=f"children of <{parent_tag}>: "
+                     + (", ".join(sorted(view.children(parent_tag)))
+                        or "none")))
+    for element in fragment_elements(operation):
+        diagnostics.extend(_element_diagnostics(name, element, view,
+                                                source))
+    return diagnostics
+
+
+def _element_diagnostics(name: str, element: Element, view: DTDView,
+                         source: str | None) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    tag = element.tag
+    if not view.declares(tag):
+        diagnostics.append(make_diagnostic(
+            "XIC402",
+            f"fragment element <{tag}> is not declared in any DTD",
+            subject=name, source=source,
+            hint="fix the tag or extend the DTD"))
+        return diagnostics  # nothing below is checkable without a decl
+    child_tags = [child.tag for child in element.element_children()]
+    if not any(dtd.declares(tag) and dtd.content_matches(tag, child_tags)
+               for dtd in view.dtds):
+        listed = ", ".join(f"<{child}>" for child in child_tags) or "none"
+        diagnostics.append(make_diagnostic(
+            "XIC402",
+            f"fragment element <{tag}> violates its content model "
+            f"(children: {listed})",
+            subject=name, source=source))
+    if element.text().strip() and not view.allows_text(tag):
+        diagnostics.append(make_diagnostic(
+            "XIC401",
+            f"character data inside <{tag}> cannot be typed: its "
+            "content model is element-only in every DTD",
+            subject=name, source=source,
+            hint="move the text into a declared PCDATA child"))
+    for attribute in sorted(element.attributes):
+        if not view.has_attribute(tag, attribute):
+            diagnostics.append(make_diagnostic(
+                "XIC401",
+                f"attribute {attribute!r} of fragment element <{tag}> "
+                "is not declared in any DTD; its value parameter "
+                "cannot be typed",
+                subject=name, source=source,
+                hint=f"declare {attribute!r} in an <!ATTLIST {tag} ...>"))
+    for dtd in view.dtds:
+        if not dtd.declares(tag):
+            continue
+        for definition in dtd.attribute_defs(tag):
+            if definition.required \
+                    and definition.name not in element.attributes:
+                diagnostics.append(make_diagnostic(
+                    "XIC402",
+                    f"fragment element <{tag}> misses required "
+                    f"attribute {definition.name!r}; the updated "
+                    "document could never validate",
+                    subject=name, source=source))
+        break
+    return diagnostics
+
+
+def always_violated_diagnostic(pattern_name: str,
+                               constraint_name: str) -> Diagnostic:
+    """``XIC403``: every update matching the pattern breaks the constraint."""
+    return make_diagnostic(
+        "XIC403",
+        f"every update matching pattern {pattern_name!r} violates "
+        f"constraint {constraint_name!r}: the optimized check reduced "
+        "to a contradiction",
+        subject=pattern_name,
+        hint="such updates can be rejected without consulting the "
+             "document at all")
+
+
+def brute_force_diagnostic(pattern_name: str, constraint_name: str,
+                           reason: str) -> Diagnostic:
+    """``XIC404``: the pair fell back to full re-checking."""
+    return make_diagnostic(
+        "XIC404",
+        f"pattern {pattern_name!r} × constraint {constraint_name!r} "
+        f"is checked by brute force: {reason}",
+        subject=pattern_name)

@@ -1,0 +1,68 @@
+"""Redundancy analysis between compiled constraints (codes ``XIC3xx``).
+
+A constraint with several denials (one per DNF disjunct) is *implied* by
+another when every one of its denials is θ-subsumed by some denial of
+the other: any violation it would catch, the other already catches.
+Checking the implied constraint is then pure overhead.
+
+* ``XIC301`` — constraint implied by (strictly weaker than) another;
+* ``XIC302`` — two constraints are equivalent (they imply each other;
+  reported once, on the later of the pair).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostic import Diagnostic, make_diagnostic
+from repro.datalog.denial import Denial
+from repro.datalog.subsume import subsumes
+
+
+def constraint_implies(implying: list[Denial],
+                       implied: list[Denial]) -> bool:
+    """Every denial of ``implied`` is subsumed by one of ``implying``."""
+    return all(
+        any(subsumes(general, specific) for general in implying)
+        for specific in implied)
+
+
+def redundancy_diagnostics(
+        compiled: list[tuple[str, str | None, list[Denial]]]
+) -> list[Diagnostic]:
+    """Pairwise redundancy report over ``(name, source, denials)`` triples.
+
+    Quadratic in the number of constraints, but each subsumption test is
+    cheap and constraint sets are small; the pass runs at compile time
+    only.
+    """
+    diagnostics: list[Diagnostic] = []
+    for second in range(len(compiled)):
+        name_b, source_b, denials_b = compiled[second]
+        for first in range(second):
+            name_a, _, denials_a = compiled[first]
+            a_implies_b = constraint_implies(denials_a, denials_b)
+            b_implies_a = constraint_implies(denials_b, denials_a)
+            if a_implies_b and b_implies_a:
+                diagnostics.append(make_diagnostic(
+                    "XIC302",
+                    f"constraint {name_b!r} is equivalent to "
+                    f"{name_a!r}: they catch exactly the same violations",
+                    subject=name_b, source=source_b,
+                    hint=f"drop {name_b!r}; keeping both doubles the "
+                         "checking work"))
+            elif a_implies_b:
+                diagnostics.append(make_diagnostic(
+                    "XIC301",
+                    f"constraint {name_b!r} is implied by {name_a!r}: "
+                    f"every violation of {name_b!r} already violates "
+                    f"{name_a!r}",
+                    subject=name_b, source=source_b,
+                    hint=f"drop {name_b!r} or tighten it"))
+            elif b_implies_a:
+                diagnostics.append(make_diagnostic(
+                    "XIC301",
+                    f"constraint {name_a!r} is implied by {name_b!r}: "
+                    f"every violation of {name_a!r} already violates "
+                    f"{name_b!r}",
+                    subject=name_a, source=compiled[first][1],
+                    hint=f"drop {name_a!r} or tighten it"))
+    return diagnostics

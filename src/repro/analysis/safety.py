@@ -1,0 +1,218 @@
+"""Datalog safety / range-restriction analysis (codes ``XIC2xx``).
+
+The evaluator (``datalog/evaluate.py``) is a backtracking join: it can
+order literals freely, so a denial is *safe* when **some** order binds
+every variable a comparison, negation or aggregate needs before that
+literal runs.  This pass computes the set of statically bindable
+variables as a fixpoint — exactly the binding rules the evaluator
+implements — and reports the literals left stranded:
+
+* ``XIC201`` — a comparison over a variable no database literal binds
+  (the evaluator's "unsafe comparison" error);
+* ``XIC202`` — a variable shared between a negation and the rest of the
+  body that cannot be bound before the negation runs;
+* ``XIC203`` — an aggregate whose correlated variables or bound term
+  cannot be grounded, or whose aggregated term is not bound by the
+  aggregate body.
+
+``datalog/evaluate.py`` keeps defensive run-time raises for uncompiled
+denials, pointing back at these codes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostic import Diagnostic, make_diagnostic
+from repro.datalog.atoms import (
+    AggregateCondition,
+    Comparison,
+    Negation,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.terms import Term, Variable, term_variables
+
+UNSAFE_COMPARISON = "XIC201"
+UNSAFE_NEGATION = "XIC202"
+UNSAFE_AGGREGATE = "XIC203"
+
+
+def _vars(term: Term) -> set[Variable]:
+    return term_variables(term)
+
+
+def _aggregate_group_vars(condition: AggregateCondition) -> set[Variable]:
+    group: set[Variable] = set()
+    for term in condition.aggregate.group_by:
+        group |= _vars(term)
+    return group
+
+
+def _aggregate_ready(condition: AggregateCondition, denial: Denial,
+                     bound: set[Variable]) -> bool:
+    """Whether the evaluator could run this aggregate given ``bound``."""
+    shared = condition.aggregate.variables() & _other_variables(
+        denial, condition)
+    group = _aggregate_group_vars(condition)
+    return (shared - group) <= bound and _vars(condition.bound) <= bound
+
+
+def _other_variables(denial: Denial, literal: object) -> set[Variable]:
+    result: set[Variable] = set()
+    seen_self = False
+    for other in denial.body:
+        if other is literal and not seen_self:
+            seen_self = True
+            continue
+        result |= other.variables()
+    return result
+
+
+def bound_variables(denial: Denial) -> set[Variable]:
+    """Variables some evaluation order is guaranteed to bind.
+
+    Fixpoint over the evaluator's binding rules: positive database
+    atoms bind all their variables; an ``=`` comparison with one side
+    fully bound and the other a bare variable binds that variable;
+    a runnable aggregate binds its group-by variables by enumerating
+    the groups.  Parameters count as bound (they are instantiated
+    before evaluation).
+    """
+    bound: set[Variable] = set()
+    for atom in denial.atoms():
+        bound |= atom.variables()
+    changed = True
+    while changed:
+        changed = False
+        for comparison in denial.comparisons():
+            if comparison.op != "eq":
+                continue
+            for side, other in ((comparison.left, comparison.right),
+                                (comparison.right, comparison.left)):
+                if isinstance(side, Variable) and side not in bound \
+                        and _vars(other) <= bound:
+                    bound.add(side)
+                    changed = True
+        for condition in denial.aggregate_conditions():
+            group = _aggregate_group_vars(condition)
+            if group - bound and _aggregate_ready(condition, denial, bound):
+                bound |= group
+                changed = True
+    return bound
+
+
+def denial_safety_issues(denial: Denial) -> list[tuple[str, str]]:
+    """``(code, message)`` pairs for every safety violation of a denial."""
+    issues: list[tuple[str, str]] = []
+    bound = bound_variables(denial)
+
+    for comparison in denial.comparisons():
+        unbound = comparison.variables() - bound
+        if unbound:
+            names = ", ".join(sorted(var.name for var in unbound))
+            issues.append((
+                UNSAFE_COMPARISON,
+                f"comparison {comparison} is unsafe: variable(s) {names} "
+                "are not bound by any database literal"))
+
+    for negation in denial.negations():
+        shared = negation.variables() & _other_variables(denial, negation)
+        unbound = shared - bound
+        if unbound:
+            names = ", ".join(sorted(var.name for var in unbound))
+            issues.append((
+                UNSAFE_NEGATION,
+                f"negation {negation} shares variable(s) {names} with the "
+                "rest of the body, but nothing binds them before the "
+                "negation runs"))
+        issues.extend(_negation_inner_issues(negation, bound))
+
+    for condition in denial.aggregate_conditions():
+        issues.extend(_aggregate_issues(condition, denial, bound))
+
+    return issues
+
+
+def _negation_inner_issues(negation: Negation,
+                           bound: set[Variable]) -> list[tuple[str, str]]:
+    """Comparisons inside a negation body need inner-or-outer bindings."""
+    inner_bound = set(bound)
+    for atom in negation.atoms():
+        inner_bound |= atom.variables()
+    inner_bound = _close_over_equalities(
+        list(negation.comparisons()), inner_bound)
+    issues: list[tuple[str, str]] = []
+    for comparison in negation.comparisons():
+        unbound = comparison.variables() - inner_bound
+        if unbound:
+            names = ", ".join(sorted(var.name for var in unbound))
+            issues.append((
+                UNSAFE_COMPARISON,
+                f"comparison {comparison} inside negation {negation} is "
+                f"unsafe: variable(s) {names} are never bound"))
+    return issues
+
+
+def _aggregate_issues(condition: AggregateCondition, denial: Denial,
+                      bound: set[Variable]) -> list[tuple[str, str]]:
+    issues: list[tuple[str, str]] = []
+    aggregate = condition.aggregate
+    shared = aggregate.variables() & _other_variables(denial, condition)
+    group = _aggregate_group_vars(condition)
+    unbound = (shared - group) - bound
+    if unbound:
+        names = ", ".join(sorted(var.name for var in unbound))
+        issues.append((
+            UNSAFE_AGGREGATE,
+            f"aggregate {condition} shares non-group variable(s) {names} "
+            "with the rest of the body, but nothing binds them before "
+            "the aggregate runs"))
+    if _vars(condition.bound) - bound:
+        issues.append((
+            UNSAFE_AGGREGATE,
+            f"aggregate bound {condition.bound} of {condition} is not "
+            "ground at evaluation time"))
+    body_bound = set(bound) | group
+    for atom in aggregate.body:
+        body_bound |= atom.variables()
+    if aggregate.term is not None \
+            and _vars(aggregate.term) - body_bound:
+        names = ", ".join(sorted(
+            var.name for var in _vars(aggregate.term) - body_bound))
+        issues.append((
+            UNSAFE_AGGREGATE,
+            f"aggregated term {aggregate.term} of {condition} is not "
+            f"bound by the aggregate body (unbound: {names})"))
+    return issues
+
+
+def _close_over_equalities(comparisons: list[Comparison],
+                           bound: set[Variable]) -> set[Variable]:
+    """Propagate half-bound ``=`` bindings to fixpoint."""
+    changed = True
+    while changed:
+        changed = False
+        for comparison in comparisons:
+            if comparison.op != "eq":
+                continue
+            for side, other in ((comparison.left, comparison.right),
+                                (comparison.right, comparison.left)):
+                if isinstance(side, Variable) and side not in bound \
+                        and _vars(other) <= bound:
+                    bound.add(side)
+                    changed = True
+    return bound
+
+
+def constraint_safety_diagnostics(
+        name: str, source: str | None,
+        denials: list[Denial]) -> list[Diagnostic]:
+    """Safety diagnostics for a compiled constraint's denials."""
+    diagnostics: list[Diagnostic] = []
+    for index, denial in enumerate(denials):
+        for code, message in denial_safety_issues(denial):
+            suffix = f" (denial {index + 1} of {len(denials)})" \
+                if len(denials) > 1 else ""
+            diagnostics.append(make_diagnostic(
+                code, message + suffix, subject=name, source=source,
+                hint="every variable must occur in a positive database "
+                     "literal (or be equated to one that does)"))
+    return diagnostics

@@ -1,0 +1,457 @@
+"""DTD-path satisfiability analysis (codes ``XIC1xx``).
+
+Two layers, mirroring where each property is visible:
+
+* :func:`constraint_path_diagnostics` walks the *XPathLog AST* of a
+  constraint against the DTD content models: unknown element tags
+  (``XIC101``), unknown attributes (``XIC102``), parent/child or
+  descendant steps no DTD-valid document can take (``XIC103``) and
+  ``text()`` steps over element-only content (``XIC104``).
+* :func:`denial_satisfiability` inspects the *compiled Datalog denials*
+  for contradictions with the DTD's occurrence bounds: a denial that
+  requires more mutually distinct siblings than the parent's content
+  model admits (``XIC105``) or pins an enumerated attribute to a value
+  outside its enumeration (``XIC106``) can never be violated by a
+  DTD-valid document — it is a *dead check* the run-time strategies
+  skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostic import Diagnostic, make_diagnostic, span_of
+from repro.datalog.atoms import Atom, Comparison, comparison_truth
+from repro.datalog.denial import Denial
+from repro.datalog.subst import Substitution
+from repro.datalog.terms import Constant, Term, Variable
+from repro.relational.schema import RelationalSchema
+from repro.xpathlog.ast import (
+    AggregateComparison,
+    AndCondition,
+    ComparisonCondition,
+    Condition,
+    Constraint,
+    NotCondition,
+    OrCondition,
+    PathCondition,
+    PathExpression,
+    PathOperand,
+    PredicateCall,
+)
+from repro.xtree.dtd import DTD, UNBOUNDED
+
+
+class DTDView:
+    """Union view over the schema's DTDs, with a descendant closure."""
+
+    def __init__(self, dtds: "list[DTD] | tuple[DTD, ...]") -> None:
+        self.dtds = list(dtds)
+        self._children: dict[str, set[str]] = {}
+        self._tags: set[str] = set()
+        self._roots: set[str] = set()
+        for dtd in self.dtds:
+            self._tags |= set(dtd.elements)
+            self._roots |= set(dtd.root_candidates())
+            for tag in dtd.elements:
+                children = self._children.setdefault(tag, set())
+                children |= set(dtd.child_cardinalities(tag))
+        self._descendants: dict[str, set[str]] = {}
+
+    def declares(self, tag: str) -> bool:
+        return tag in self._tags
+
+    def roots(self) -> set[str]:
+        return self._roots
+
+    def children(self, tag: str) -> set[str]:
+        return self._children.get(tag, set())
+
+    def parents(self, tag: str) -> set[str]:
+        return {parent for parent, children in self._children.items()
+                if tag in children}
+
+    def descendants(self, tag: str) -> set[str]:
+        if tag not in self._descendants:
+            seen: set[str] = set()
+            stack = list(self.children(tag))
+            while stack:
+                child = stack.pop()
+                if child not in seen:
+                    seen.add(child)
+                    stack.extend(self.children(child))
+            self._descendants[tag] = seen
+        return self._descendants[tag]
+
+    def allows_text(self, tag: str) -> bool:
+        return any(dtd.declares(tag) and dtd.allows_text(tag)
+                   for dtd in self.dtds)
+
+    def has_attribute(self, tag: str, name: str) -> bool:
+        return any(dtd.attribute_def(tag, name) is not None
+                   for dtd in self.dtds)
+
+    def max_occurs(self, parent: str, child: str) -> int | None:
+        """Largest occurrence bound of ``child`` under ``parent``.
+
+        ``UNBOUNDED`` (``None``) when any DTD allows arbitrarily many;
+        0 when no DTD allows the edge at all.
+        """
+        best = 0
+        for dtd in self.dtds:
+            if not dtd.declares(parent):
+                continue
+            bounds = dtd.child_cardinalities(parent).get(child)
+            if bounds is None:
+                continue
+            high = bounds[1]
+            if high is UNBOUNDED:
+                return UNBOUNDED
+            best = max(best, high)
+        return best
+
+
+@dataclass
+class _PathResult:
+    """Where a path walk ended: at nodes, at a value, or nowhere known."""
+
+    kind: str  # "node" | "root" | "value" | "unknown"
+    tags: set[str] = field(default_factory=set)
+
+
+# ---------------------------------------------------------------------------
+# AST-level pass
+# ---------------------------------------------------------------------------
+
+class _PathChecker:
+    def __init__(self, view: DTDView, subject: str,
+                 source: str | None) -> None:
+        self.view = view
+        self.subject = subject
+        self.source = source
+        self.diagnostics: list[Diagnostic] = []
+
+    def report(self, code: str, message: str, needle: str,
+               hint: str | None = None) -> None:
+        self.diagnostics.append(make_diagnostic(
+            code, message, subject=self.subject, source=self.source,
+            span=span_of(self.source, needle), hint=hint))
+
+    # -- conditions ----------------------------------------------------------
+
+    def check_condition(self, condition: Condition,
+                        context: _PathResult | None) -> None:
+        if isinstance(condition, PathCondition):
+            self.check_path(condition.path, context)
+        elif isinstance(condition, ComparisonCondition):
+            for operand in (condition.left, condition.right):
+                if isinstance(operand, PathOperand):
+                    self.check_path(operand.path, context)
+        elif isinstance(condition, AggregateComparison):
+            self.check_path(condition.path, None)
+        elif isinstance(condition, NotCondition):
+            self.check_condition(condition.item, context)
+        elif isinstance(condition, (AndCondition, OrCondition)):
+            for item in condition.items:
+                self.check_condition(item, context)
+        elif isinstance(condition, PredicateCall):
+            pass  # view bodies are linted where the view is defined
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"unknown condition kind: {condition!r}")
+
+    # -- paths ----------------------------------------------------------------
+
+    def check_path(self, path: PathExpression,
+                   context: _PathResult | None) -> _PathResult:
+        if path.absolute or context is None:
+            current = _PathResult("root")
+        else:
+            current = context
+        for step, descendant in zip(path.steps, path.descendant_flags):
+            current = self.check_step(step, descendant, current)
+            for qualifier in step.qualifiers:
+                self.check_condition(qualifier, current)
+        return current
+
+    def check_step(self, step, descendant: bool,
+                   context: _PathResult) -> _PathResult:
+        if context.kind == "unknown":
+            return context
+        if step.axis in ("child", "descendant"):
+            return self.check_navigation(step.nodetest or "", descendant,
+                                         context)
+        if step.axis == "attribute":
+            return self.check_attribute(step.nodetest or "", context)
+        if step.axis == "text":
+            return self.check_text(context)
+        if step.axis == "position":
+            return _PathResult("value")
+        if step.axis == "parent":
+            parents: set[str] = set()
+            for tag in context.tags:
+                parents |= self.view.parents(tag)
+            if parents:
+                return _PathResult("node", parents)
+            return _PathResult("unknown")
+        return _PathResult("unknown")
+
+    def check_navigation(self, tag: str, descendant: bool,
+                         context: _PathResult) -> _PathResult:
+        if not self.view.declares(tag):
+            known = ", ".join(sorted(self.view._tags)) or "none"
+            self.report(
+                "XIC101",
+                f"element tag {tag!r} is not declared in any DTD",
+                tag, hint=f"declared tags: {known}")
+            return _PathResult("unknown")
+        if context.kind == "value":
+            return _PathResult("unknown")  # compile rejects this shape
+        if context.kind == "root":
+            return _PathResult("node", {tag})
+        reachable = any(
+            tag in (self.view.descendants(source) if descendant
+                    else self.view.children(source))
+            for source in context.tags)
+        if not reachable:
+            sources = "/".join(sorted(context.tags))
+            relation = "a descendant" if descendant else "a child"
+            self.report(
+                "XIC103",
+                f"{tag!r} can never be {relation} of {sources!r} in any "
+                "DTD-valid document", tag,
+                hint=f"children of {sources!r}: "
+                     + (", ".join(sorted(set().union(*(
+                         self.view.children(s) for s in context.tags))))
+                        or "none"))
+        return _PathResult("node", {tag})
+
+    def check_attribute(self, name: str,
+                        context: _PathResult) -> _PathResult:
+        if context.kind == "node" and context.tags and not any(
+                self.view.has_attribute(tag, name)
+                for tag in context.tags):
+            tags = "/".join(sorted(context.tags))
+            self.report(
+                "XIC102",
+                f"attribute {name!r} is not declared on {tags!r}",
+                "@" + name,
+                hint=f"add an <!ATTLIST {tags} {name} ...> declaration "
+                     "or fix the attribute name")
+        return _PathResult("value")
+
+    def check_text(self, context: _PathResult) -> _PathResult:
+        if context.kind == "node" and context.tags and not any(
+                self.view.allows_text(tag) for tag in context.tags):
+            tags = "/".join(sorted(context.tags))
+            self.report(
+                "XIC104",
+                f"text() selects nothing: {tags!r} has element-only "
+                "content in every DTD", "text()",
+                hint="compare an inlined child or attribute instead")
+        return _PathResult("value")
+
+
+def constraint_path_diagnostics(constraint: Constraint, view: DTDView,
+                                name: str) -> list[Diagnostic]:
+    """AST-level DTD satisfiability diagnostics for one constraint."""
+    checker = _PathChecker(view, name, constraint.source)
+    checker.check_condition(constraint.body, None)
+    return checker.diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Denial-level pass (dead checks)
+# ---------------------------------------------------------------------------
+
+def denial_satisfiability(
+        name: str, source: str | None, denials: list[Denial],
+        relational: RelationalSchema,
+        view: DTDView) -> tuple[list[Diagnostic], set[int]]:
+    """Dead-check diagnostics plus the indices of dead denials.
+
+    A constraint whose denials are *all* dead can be skipped entirely by
+    the run-time checkers (the documents are DTD-valid by contract, so
+    the denial body is unsatisfiable).
+    """
+    diagnostics: list[Diagnostic] = []
+    dead: set[int] = set()
+    for index, denial in enumerate(denials):
+        findings = _denial_findings(denial, relational, view)
+        for code, message, hint in findings:
+            diagnostics.append(make_diagnostic(
+                code, f"{message} (denial {index + 1} of {len(denials)}: "
+                      f"{denial})",
+                subject=name, source=source, hint=hint))
+        if findings:
+            dead.add(index)
+    return diagnostics, dead
+
+
+def _denial_findings(denial: Denial, relational: RelationalSchema,
+                     view: DTDView) -> list[tuple[str, str, str]]:
+    findings = _enum_findings(denial, relational)
+    findings.extend(_cardinality_findings(denial, relational, view))
+    return findings
+
+
+def _enum_findings(denial: Denial,
+                   relational: RelationalSchema) -> list[tuple[str, str, str]]:
+    """``XIC106``: an enumerated attribute pinned outside its enumeration."""
+    findings: list[tuple[str, str, str]] = []
+    for atom in denial.atoms():
+        if not relational.has_predicate(atom.predicate):
+            continue
+        predicate = relational.predicate_for(atom.predicate)
+        for column_index, column in enumerate(predicate.columns):
+            if column.kind != "attribute" or column.source is None:
+                continue
+            argument = atom.args[column_index]
+            if not isinstance(argument, Constant) \
+                    or argument.value is None:
+                continue
+            for dtd in relational.dtds:
+                definition = dtd.attribute_def(atom.predicate, column.source)
+                if definition is None or definition.att_type != "enum":
+                    continue
+                if argument.value not in definition.enum_values:
+                    findings.append((
+                        "XIC106",
+                        f"attribute {column.source!r} of "
+                        f"<{atom.predicate}> is compared to "
+                        f"{argument.value!r}, outside its enumeration "
+                        f"{definition.enum_values}",
+                        "this check can never fire on a DTD-valid "
+                        "document; fix the value or widen the "
+                        "enumeration"))
+                break
+    return findings
+
+
+def _cardinality_findings(
+        denial: Denial, relational: RelationalSchema,
+        view: DTDView) -> list[tuple[str, str, str]]:
+    """``XIC105``: more distinct siblings required than the DTD allows."""
+    findings: list[tuple[str, str, str]] = []
+    comparisons = list(denial.comparisons())
+    groups = _sibling_groups(denial, relational)
+    for (predicate, _), atoms in groups.items():
+        if len(atoms) < 2:
+            continue
+        required = _distinct_clique(atoms, comparisons)
+        if required < 2:
+            continue
+        parent_tags = _possible_parent_tags(atoms, denial, relational)
+        if not parent_tags:
+            continue
+        bounds = [view.max_occurs(parent, predicate)
+                  for parent in parent_tags]
+        if any(bound is UNBOUNDED for bound in bounds):
+            continue
+        maximum = max(bound for bound in bounds)  # type: ignore[type-var]
+        if required > maximum:
+            parents = "/".join(sorted(parent_tags))
+            findings.append((
+                "XIC105",
+                f"the body requires {required} distinct <{predicate}> "
+                f"children under one <{parents}>, but the DTD allows at "
+                f"most {maximum}",
+                "this check can never fire on a DTD-valid document; "
+                "drop it or relax the content model"))
+    return findings
+
+
+def _sibling_groups(denial: Denial, relational: RelationalSchema
+                    ) -> dict[tuple[str, object], list[Atom]]:
+    """Atoms that provably describe children of one concrete parent node.
+
+    Two atoms land in one group when they share the same parent term, or
+    when their node type can only occur under document roots — a root
+    element is unique per document, so all its children are siblings.
+    """
+    groups: dict[tuple[str, object], list[Atom]] = {}
+    for atom in denial.atoms():
+        if not relational.has_predicate(atom.predicate):
+            continue
+        parents = relational.parents_of(atom.predicate)
+        if parents and all(relational.is_root(parent)
+                           for parent in parents):
+            key: tuple[str, object] = (atom.predicate, "<root>")
+        else:
+            key = (atom.predicate, atom.args[2])
+        groups.setdefault(key, []).append(atom)
+    return groups
+
+
+def _distinct_clique(atoms: list[Atom],
+                     comparisons: list[Comparison]) -> int:
+    """Size of the largest set of atoms that must denote distinct nodes."""
+    must_differ = [
+        [a is not b and _forced_distinct(a, b, comparisons) for b in atoms]
+        for a in atoms
+    ]
+    best = 1
+    count = len(atoms)
+    for mask in range(1, 1 << count):
+        members = [i for i in range(count) if mask >> i & 1]
+        if len(members) <= best:
+            continue
+        if all(must_differ[i][j]
+               for i in members for j in members if i < j):
+            best = len(members)
+    return best
+
+
+def _forced_distinct(left: Atom, right: Atom,
+                     comparisons: list[Comparison]) -> bool:
+    """True when ``left`` and ``right`` cannot denote the same node."""
+    unifier = _unify_args(left, right)
+    if unifier is None:
+        return True
+    substitution = Substitution(unifier)
+    for comparison in comparisons:
+        applied = substitution.apply_literal(comparison)
+        assert isinstance(applied, Comparison)
+        if comparison_truth(applied) is False:
+            return True
+    return False
+
+
+def _unify_args(left: Atom, right: Atom) -> dict[Variable, Term] | None:
+    """Most general unifier of two same-predicate atoms, or ``None``.
+
+    Parameters are unknown constants: they unify with anything except a
+    provably different value, so only distinct ground constants refute
+    unification.  The result maps variables to their representative.
+    """
+    bindings: dict[Variable, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    for first, second in zip(left.args, right.args):
+        first, second = resolve(first), resolve(second)
+        if first == second:
+            continue
+        if isinstance(first, Variable):
+            bindings[first] = second
+        elif isinstance(second, Variable):
+            bindings[second] = first
+        elif isinstance(first, Constant) and isinstance(second, Constant):
+            return None
+        # parameter vs constant/parameter: not provably distinct
+    return {variable: resolve(variable) for variable in bindings}
+
+
+def _possible_parent_tags(atoms: list[Atom], denial: Denial,
+                          relational: RelationalSchema) -> set[str]:
+    """Node types the shared parent of a sibling group can have."""
+    parent_term = atoms[0].args[2]
+    for atom in denial.atoms():
+        if atom in atoms:
+            continue
+        if atom.args[0] == parent_term \
+                and relational.has_predicate(atom.predicate):
+            return {atom.predicate}
+    return set(relational.parents_of(atoms[0].predicate))

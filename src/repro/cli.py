@@ -9,10 +9,13 @@ A thin front-end over the library for shell use:
 * ``guard``    — apply an XUpdate file under integrity control and
   write the (possibly updated) documents back;
 * ``shred``    — print the relational facts of a document;
-* ``query``    — evaluate an XQuery expression over documents.
+* ``query``    — evaluate an XQuery expression over documents;
+* ``lint``     — run the compile-time analysis passes and report
+  ``XICnnn`` diagnostics (text or JSON) without touching documents.
 
 Constraints are given one per ``--constraint`` (inline text) or via
-``--constraints-file`` (one denial per non-empty line; ``#`` comments).
+``--constraints-file`` (one denial per non-empty line; ``#`` comments;
+a trailing ``\\`` continues the denial on the next line).
 """
 
 from __future__ import annotations
@@ -39,14 +42,40 @@ def _load_documents(paths: list[str]) -> list[Document]:
     return [parse_document(_read(path)) for path in paths]
 
 
-def _load_constraints(args: argparse.Namespace) -> list[str]:
+def _parse_constraint_lines(text: str) -> list[str]:
+    """One denial per logical line: ``#`` comments, ``\\`` continuation.
+
+    A line ending in a backslash continues on the next physical line,
+    so long denials can be wrapped; comment and blank lines are only
+    recognized outside a continuation.
+    """
+    constraints: list[str] = []
+    pending: str | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if pending is None:
+            if not stripped or stripped.startswith("#"):
+                continue
+            current = stripped
+        else:
+            current = pending + " " + stripped
+        if current.endswith("\\"):
+            pending = current[:-1].strip()
+        else:
+            pending = None
+            constraints.append(current)
+    if pending:  # a dangling final continuation still counts
+        constraints.append(pending)
+    return constraints
+
+
+def _load_constraints(args: argparse.Namespace,
+                      required: bool = True) -> list[str]:
     constraints = list(args.constraint or [])
     if args.constraints_file:
-        for line in _read(args.constraints_file).splitlines():
-            stripped = line.strip()
-            if stripped and not stripped.startswith("#"):
-                constraints.append(stripped)
-    if not constraints:
+        constraints.extend(
+            _parse_constraint_lines(_read(args.constraints_file)))
+    if not constraints and required:
         raise SystemExit("no constraints given "
                          "(use --constraint / --constraints-file)")
     return constraints
@@ -133,6 +162,24 @@ def cmd_shred(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostic import ERROR, WARNING
+    from repro.analysis.lint import lint_sources
+
+    report = lint_sources(
+        [_read(path) for path in args.dtd],
+        _load_constraints(args, required=False),
+        patterns=[_read(path) for path in args.pattern or []])
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if args.fail_on == "never":
+        return 0
+    threshold = ERROR if args.fail_on == "error" else WARNING
+    return 1 if report.count_at_least(threshold) else 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     documents = _load_documents(args.document)
     result = evaluate_query(args.expression, documents)
@@ -182,6 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
     shred.add_argument("document", nargs="+", help="XML document file")
     shred.set_defaults(handler=cmd_shred)
 
+    lint = commands.add_parser(
+        "lint", help="static analysis of DTDs + constraints + patterns")
+    _add_schema_arguments(lint)
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="output format")
+    lint.add_argument("--fail-on", choices=("error", "warning", "never"),
+                      default="warning",
+                      help="lowest severity that causes exit code 1 "
+                           "(default: warning)")
+    lint.set_defaults(handler=cmd_lint)
+
     query = commands.add_parser(
         "query", help="evaluate an XQuery expression over documents")
     query.add_argument("expression", help="XQuery text")
@@ -197,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.handler(args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -104,9 +104,17 @@ class _CheckerBase:
             f"select {select!r} resolves in none of the documents")
 
     def verify_consistency(self) -> list[str]:
-        """Names of constraints currently violated (full check)."""
+        """Names of constraints currently violated (full check).
+
+        Constraints flagged *dead* by the compile-time satisfiability
+        pass (no DTD-valid document can violate them, ``XIC105``/
+        ``XIC106``) are skipped: the documents are DTD-valid by
+        contract, so evaluating those checks is pure waste.
+        """
         violated = []
         for constraint in self.schema.constraints:
+            if constraint.dead:
+                continue
             for query in constraint.full_queries:
                 if query.parameters:
                     raise SimplificationError(
@@ -324,6 +332,8 @@ class DatalogChecker:
         """Names of constraints violated in the mirrored database."""
         violated = []
         for constraint in self.schema.constraints:
+            if constraint.dead:
+                continue  # unsatisfiable over DTD-valid documents
             if any(not denial_holds(denial, self.database)
                    for denial in constraint.denials):
                 violated.append(constraint.name)

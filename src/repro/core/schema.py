@@ -15,8 +15,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.diagnostic import Diagnostic
+from repro.analysis.patterns import (
+    always_violated_diagnostic,
+    brute_force_diagnostic,
+    pattern_diagnostics,
+)
+from repro.analysis.redundancy import redundancy_diagnostics
+from repro.analysis.safety import constraint_safety_diagnostics
+from repro.analysis.satisfiability import (
+    DTDView,
+    constraint_path_diagnostics,
+    denial_satisfiability,
+)
 from repro.datalog.denial import Denial
-from repro.errors import SchemaError, SimplificationError
+from repro.errors import CompilationError, SchemaError, SimplificationError
 from repro.relational.prune import prune_denials
 from repro.relational.schema import RelationalSchema
 from repro.simplify import simp
@@ -44,6 +57,9 @@ class CompiledConstraint:
     source: Constraint
     denials: list[Denial]
     full_queries: list[TranslatedQuery]
+    #: True when every denial is a dead check: no DTD-valid document can
+    #: violate it, so the run-time strategies skip it entirely
+    dead: bool = False
 
     def __str__(self) -> str:
         return f"{self.name}: {self.source}"
@@ -116,6 +132,9 @@ class ConstraintSchema:
             dtd if isinstance(dtd, DTD) else parse_dtd(dtd) for dtd in dtds]
         self.dtds = parsed_dtds
         self.relational = RelationalSchema.from_dtds(parsed_dtds)
+        self.dtd_view = DTDView(parsed_dtds)
+        #: findings of the compile-time analysis passes (``XICnnn``)
+        self.diagnostics: list[Diagnostic] = []
         self.views: dict = {}
         for view_text in views or []:
             rule = parse_rule(view_text)
@@ -132,9 +151,34 @@ class ConstraintSchema:
                 else f"C{index + 1}"
             denials = compile_constraint(source, self.relational,
                                          self.views)
+            self.diagnostics.extend(constraint_path_diagnostics(
+                source, self.dtd_view, name))
+            safety = constraint_safety_diagnostics(
+                name, source.source, denials)
+            if safety:
+                # unsafe constraints would only fail later, at run time,
+                # inside the Datalog evaluator; surface them here so
+                # DatalogEvaluationError stays unreachable for compiled
+                # schemas
+                self.diagnostics.extend(safety)
+                raise CompilationError(
+                    f"constraint {name!r} is unsafe: {safety[0].message}",
+                    code=safety[0].code)
+            # translate only after the safety pass: the XQuery
+            # translation rejects unsafe denials too, with a less
+            # precise message and no diagnostic code
             queries = translate_denials(denials, self.relational)
+            dead_diagnostics, dead = denial_satisfiability(
+                name, source.source, denials, self.relational,
+                self.dtd_view)
+            self.diagnostics.extend(dead_diagnostics)
             self.constraints.append(
-                CompiledConstraint(name, source, denials, queries))
+                CompiledConstraint(name, source, denials, queries,
+                                   dead=bool(dead)
+                                   and len(dead) == len(denials)))
+        self.diagnostics.extend(redundancy_diagnostics([
+            (compiled.name, compiled.source.source, compiled.denials)
+            for compiled in self.constraints]))
         self._deletion_unsafe = self._compute_deletion_unsafe()
 
     # -- pattern registration ---------------------------------------------------
@@ -155,6 +199,9 @@ class ConstraintSchema:
         analyzed = analyze_operation(operation, self.relational)
         if analyzed.signature in self.patterns:
             return analyzed.signature
+        pattern_name = str(analyzed.signature)
+        self.diagnostics.extend(pattern_diagnostics(
+            pattern_name, operation, self.relational, self.dtd_view))
         checks: list[OptimizedCheck] = []
         fallback: list[CompiledConstraint] = []
         for constraint in self.constraints:
@@ -164,10 +211,16 @@ class ConstraintSchema:
                 simplified = prune_denials(simplified, self.relational)
                 simplified = self._reject_unbindable(simplified, analyzed)
                 queries = translate_denials(simplified, self.relational)
-            except SimplificationError:
+            except SimplificationError as error:
                 fallback.append(constraint)
+                self.diagnostics.append(brute_force_diagnostic(
+                    pattern_name, constraint.name, str(error)))
                 continue
-            checks.append(OptimizedCheck(constraint, simplified, queries))
+            check = OptimizedCheck(constraint, simplified, queries)
+            if check.always_violated:
+                self.diagnostics.append(always_violated_diagnostic(
+                    pattern_name, constraint.name))
+            checks.append(check)
         self.patterns[analyzed.signature] = PatternChecks(
             analyzed, checks, fallback)
         return analyzed.signature
@@ -195,6 +248,10 @@ class ConstraintSchema:
         analyzed = analyze_transaction(operations, self.relational)
         if analyzed.signatures in self.transaction_patterns:
             return analyzed.signatures
+        pattern_name = analyzed.pattern.name or "transaction"
+        for operation in operations:
+            self.diagnostics.extend(pattern_diagnostics(
+                pattern_name, operation, self.relational, self.dtd_view))
         checks: list[OptimizedCheck] = []
         fallback: list[CompiledConstraint] = []
         for constraint in self.constraints:
@@ -209,10 +266,16 @@ class ConstraintSchema:
                         raise SimplificationError(
                             f"check {denial} references fresh ids")
                 queries = translate_denials(simplified, self.relational)
-            except SimplificationError:
+            except SimplificationError as error:
                 fallback.append(constraint)
+                self.diagnostics.append(brute_force_diagnostic(
+                    pattern_name, constraint.name, str(error)))
                 continue
-            checks.append(OptimizedCheck(constraint, simplified, queries))
+            check = OptimizedCheck(constraint, simplified, queries)
+            if check.always_violated:
+                self.diagnostics.append(always_violated_diagnostic(
+                    pattern_name, constraint.name))
+            checks.append(check)
         self.transaction_patterns[analyzed.signatures] = TransactionChecks(
             analyzed, checks, fallback)
         return analyzed.signatures

@@ -208,9 +208,13 @@ def _solve_comparison(comparison: Comparison, rest: list[Literal],
             yield from _solve(rest, env, database)
             del env[variable_side]
             return
+    # defensive: schemas compiled through ConstraintSchema reject unsafe
+    # denials at compile time (lint code XIC201), so this is reachable
+    # only for hand-built denials that bypass the safety pass
+    from repro.analysis.safety import UNSAFE_COMPARISON
     raise DatalogEvaluationError(
         f"unsafe comparison {comparison}: operands not bound by any "
-        "database literal")
+        f"database literal (lint code {UNSAFE_COMPARISON})")
 
 
 def _correlated_variables(condition: "AggregateCondition | Negation",
@@ -245,10 +249,13 @@ def _solve_negation(negation: Negation, rest: list[Literal],
     shared &= negation.variables()
     for variable in shared:
         if env.get(variable, _UNBOUND) is _UNBOUND:
+            # defensive: compiled schemas reject this at compile time
+            # (lint code XIC202); see repro.analysis.safety
+            from repro.analysis.safety import UNSAFE_NEGATION
             raise DatalogEvaluationError(
                 f"variable {variable} is shared between a negation and "
                 "other literals but cannot be bound before the negation "
-                "is evaluated")
+                f"is evaluated (lint code {UNSAFE_NEGATION})")
     inner_env = dict(env)
     for _ in _solve(list(negation.body), inner_env, database):
         return  # a witness exists: the negation fails
@@ -268,10 +275,13 @@ def _solve_aggregate(condition: AggregateCondition, rest: list[Literal],
         group_variable_set |= _term_vars(term)
     for variable in shared - group_variable_set:
         if env.get(variable, _UNBOUND) is _UNBOUND:
+            # defensive: compiled schemas reject this at compile time
+            # (lint code XIC203); see repro.analysis.safety
+            from repro.analysis.safety import UNSAFE_AGGREGATE
             raise DatalogEvaluationError(
                 f"variable {variable} is shared between an aggregate body "
                 "and other literals but cannot be bound before the "
-                "aggregate is evaluated")
+                f"aggregate is evaluated (lint code {UNSAFE_AGGREGATE})")
     bound_value = _term_value(condition.bound, env)
     if bound_value is _UNBOUND:
         raise DatalogEvaluationError(

@@ -57,7 +57,16 @@ class XPathLogError(ParseError):
 
 class CompilationError(ReproError):
     """An XPathLog constraint cannot be compiled to Datalog against the
-    current schema (unknown tag, unsupported axis, ...)."""
+    current schema (unknown tag, unsupported axis, ...).
+
+    Attributes:
+        code: the ``XICnnn`` diagnostic code classifying the problem
+            (see ``docs/diagnostics.md``), when one applies.
+    """
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        self.code = code
+        super().__init__(message)
 
 
 class DatalogEvaluationError(ReproError):

@@ -258,7 +258,8 @@ class _Compiler:
         if descendant:
             return self.navigate_chain(context, tag, scope)
         raise CompilationError(
-            f"{tag!r} is not a child node type of {context.tag!r}")
+            f"{tag!r} is not a child node type of {context.tag!r}",
+            code="XIC103")
 
     def navigate_from_root(self, context: _Context, tag: str,
                            descendant: bool, scope: _Scope) -> _Context:
@@ -285,7 +286,8 @@ class _Compiler:
             return self.navigate(parent_context, tag, False, scope)
         raise CompilationError(
             f"cannot resolve //{tag}: node type unknown or reachable "
-            "through multiple parents")
+            "through multiple parents",
+            code=None if self.schema.knows_tag(tag) else "XIC101")
 
     def navigate_chain(self, context: _Context, tag: str,
                        scope: _Scope) -> _Context:
@@ -294,7 +296,8 @@ class _Compiler:
         chains = self.chains_between(context.tag, tag)
         if not chains:
             raise CompilationError(
-                f"no descendant chain from {context.tag!r} to {tag!r}")
+                f"no descendant chain from {context.tag!r} to {tag!r}",
+                code="XIC103")
         if len(chains) > 1:
             raise CompilationError(
                 f"descendant step //{tag} from {context.tag!r} is ambiguous: "
@@ -364,7 +367,7 @@ class _Compiler:
                     value_var=self.column_var(
                         context.atom, predicate.text_index(), scope))
         raise CompilationError(
-            f"text() is not available at {context.tag!r}")
+            f"text() is not available at {context.tag!r}", code="XIC104")
 
     def position_value(self, context: _Context) -> _Context:
         if context.kind != "node" or context.atom is None:

@@ -212,8 +212,39 @@ class DTD:
         except KeyError:
             raise DTDError(f"no <!ELEMENT> declaration for {tag!r}") from None
 
+    def declares(self, tag: str) -> bool:
+        """True when the DTD has an ``<!ELEMENT>`` declaration for ``tag``."""
+        return tag in self.elements
+
     def attribute_defs(self, tag: str) -> list[AttributeDef]:
         return self.attributes.get(tag, [])
+
+    def attribute_def(self, tag: str, name: str) -> AttributeDef | None:
+        """The declaration of attribute ``name`` on ``tag``, if any."""
+        for definition in self.attribute_defs(tag):
+            if definition.name == name:
+                return definition
+        return None
+
+    def allows_text(self, tag: str) -> bool:
+        """True when ``tag`` may contain character data (mixed or ANY)."""
+        model = self.content_model(tag)
+        return isinstance(model, (MixedContent, AnyContent))
+
+    def content_matches(self, tag: str, child_tags: list[str]) -> bool:
+        """Whether a child-tag sequence satisfies ``tag``'s content model.
+
+        Used by the static update-pattern analysis to decide whether an
+        inserted fragment can ever be part of a DTD-valid document.
+        """
+        model = self.content_model(tag)
+        if isinstance(model, AnyContent):
+            return True
+        if isinstance(model, EmptyContent):
+            return not child_tags
+        if isinstance(model, MixedContent):
+            return all(child in model.names_allowed for child in child_tags)
+        return _compile_nfa(model).matches(child_tags)
 
     def is_pcdata_only(self, tag: str) -> bool:
         """True if ``tag`` holds character data only (``(#PCDATA)``)."""

@@ -157,6 +157,21 @@ def signature_of(operation: Operation,
     return UpdateSignature(operation.kind, parent_tag, shape)
 
 
+def fragment_elements(operation: InsertOperation) -> list[Element]:
+    """All fragment elements of an insertion, in binder preorder.
+
+    Public alias used by the static analysis passes; indexes agree with
+    the ``("position"/"value", index, ...)`` binding specs.
+    """
+    return _fragment_elements(operation)
+
+
+def insertion_parent_tag(operation: InsertOperation,
+                         schema: RelationalSchema) -> str:
+    """The node type the inserted fragment lands under (public alias)."""
+    return _static_parent_tag(operation, schema)
+
+
 # ---------------------------------------------------------------------------
 # Internals
 # ---------------------------------------------------------------------------

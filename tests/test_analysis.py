@@ -1,0 +1,331 @@
+"""Tests for the compile-time analysis passes (``repro.analysis``).
+
+Each seeded-bad-input case asserts the *stable* diagnostic code, so
+that the codes documented in ``docs/diagnostics.md`` cannot drift
+silently.  The property test at the end states the linter's contract:
+a schema that lints clean compiles and evaluates without error.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.diagnostic import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    make_diagnostic,
+    max_severity,
+    span_of,
+)
+from repro.analysis.lint import lint_sources
+from repro.analysis.safety import bound_variables, denial_safety_issues
+from repro.core import BruteForceChecker, DatalogChecker
+from repro.core.schema import ConstraintSchema
+from repro.datagen.running_example import (
+    CONFERENCE_WORKLOAD,
+    CONFLICT_OF_INTEREST,
+    PUB_DTD,
+    REV_DTD,
+    submission_xupdate,
+)
+from repro.datalog.atoms import (
+    Aggregate,
+    AggregateCondition,
+    Atom,
+    Comparison,
+    Negation,
+)
+from repro.datalog.denial import Denial
+from repro.datalog.terms import Constant, Variable
+from repro.errors import CompilationError
+from repro.xtree import parse_document
+
+
+#: A small organisational DTD used to seed bad inputs: ``head`` occurs
+#: at most once per ``dept`` and ``grade`` is an enumerated attribute,
+#: giving the dead-check passes something to prove.
+ORG_DTD = """
+<!ELEMENT org (dept)*>
+<!ELEMENT dept (head?, emp*)>
+<!ELEMENT head (hname)>
+<!ELEMENT hname (#PCDATA)>
+<!ELEMENT emp (ename)>
+<!ELEMENT ename (#PCDATA)>
+<!ATTLIST emp grade (junior|senior) #REQUIRED>
+"""
+
+ORG_XML = """<org>
+ <dept><head><hname>Ada</hname></head>
+  <emp grade="junior"><ename>Bob</ename></emp>
+  <emp grade="senior"><ename>Cora</ename></emp></dept>
+</org>"""
+
+
+def lint_org(*constraints: str, **kwargs) -> "LintReport":
+    return lint_sources([ORG_DTD], list(constraints), **kwargs)
+
+
+class TestDiagnosticModel:
+    def test_registry_rejects_unknown_codes(self):
+        with pytest.raises(ValueError):
+            make_diagnostic("XIC999", "nope")
+
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert severity in (ERROR, WARNING, INFO)
+            assert title
+            assert code.startswith("XIC")
+
+    def test_severity_ordering(self):
+        diagnostic = make_diagnostic("XIC105", "dead")
+        assert diagnostic.severity == WARNING
+        assert diagnostic.is_at_least(WARNING)
+        assert diagnostic.is_at_least(INFO)
+        assert not diagnostic.is_at_least(ERROR)
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert max_severity([make_diagnostic("XIC404", "i"),
+                             make_diagnostic("XIC101", "e")]) == ERROR
+
+    def test_to_dict_and_render_carry_the_code(self):
+        diagnostic = make_diagnostic(
+            "XIC101", "unknown tag", subject="c1",
+            source="<- //foo", span=(5, 8), hint="declared tags: ...")
+        assert diagnostic.to_dict()["code"] == "XIC101"
+        rendered = diagnostic.render()
+        assert "XIC101" in rendered and "c1" in rendered
+
+    def test_span_of(self):
+        assert span_of("<- //foo/text()", "foo") == (5, 8)
+        assert span_of("abc", "zzz") is None
+        assert span_of(None, "x") is None
+
+
+class TestPathSatisfiability:
+    def test_unknown_tag_is_xic101(self):
+        report = lint_org("<- //foo/text() -> T")
+        assert "XIC101" in report.codes()
+        assert report.count_at_least(ERROR) >= 1
+
+    def test_unknown_attribute_is_xic102(self):
+        report = lint_org("<- //emp/@salary -> S")
+        assert "XIC102" in report.codes()
+
+    def test_impossible_edge_is_xic103(self):
+        # head is declared, but never a child of org
+        report = lint_org("<- //org/head -> H")
+        assert "XIC103" in report.codes()
+
+    def test_no_character_data_is_xic104(self):
+        # dept has element-only content
+        report = lint_org("<- //dept/text() -> T")
+        assert "XIC104" in report.codes()
+
+    def test_diagnostics_carry_subject_and_hint(self):
+        report = lint_org("<- //foo/text() -> T", names=["my_constraint"])
+        [diagnostic] = [d for d in report.diagnostics if d.code == "XIC101"]
+        assert diagnostic.subject == "my_constraint"
+        assert diagnostic.hint
+
+
+class TestDeadChecks:
+    DEAD_CARDINALITY = ("<- //dept[/head/hname/text() -> A"
+                        " /\\ /head/hname/text() -> B] /\\ A != B")
+    DEAD_ENUM = '<- //emp/@grade -> G /\\ G = "manager"'
+
+    def test_sibling_cardinality_is_xic105_and_dead(self):
+        report = lint_org(self.DEAD_CARDINALITY, names=["two_heads"])
+        assert "XIC105" in report.codes()
+        assert report.dead_constraints == ["two_heads"]
+        assert report.max_severity() == WARNING
+
+    def test_enum_value_is_xic106_and_dead(self):
+        report = lint_org(self.DEAD_ENUM, names=["manager_grade"])
+        assert "XIC106" in report.codes()
+        assert report.dead_constraints == ["manager_grade"]
+
+    def test_live_constraint_is_not_dead(self):
+        report = lint_org('<- //emp/@grade -> G /\\ G = "junior"')
+        assert report.dead_constraints == []
+        assert report.diagnostics == []
+
+    def test_schema_marks_dead_and_checkers_skip(self):
+        schema = ConstraintSchema(
+            [ORG_DTD], [self.DEAD_CARDINALITY, self.DEAD_ENUM],
+            names=["two_heads", "manager_grade"])
+        assert all(constraint.dead for constraint in schema.constraints)
+        assert {d.code for d in schema.diagnostics} >= {"XIC105", "XIC106"}
+        documents = [parse_document(ORG_XML)]
+        # neither checker may even evaluate the dead constraints
+        BruteForceChecker(schema, documents).verify_consistency()
+        assert DatalogChecker(schema, documents).violated_constraints() == []
+
+
+class TestSafety:
+    def test_unbound_comparison_is_xic201(self):
+        report = lint_org("<- //emp/@grade -> G /\\ X > 3")
+        assert "XIC201" in report.codes()
+        assert report.count_at_least(ERROR) >= 1
+
+    def test_schema_raises_compilation_error_with_code(self):
+        with pytest.raises(CompilationError) as excinfo:
+            ConstraintSchema([ORG_DTD], ["<- //emp/@grade -> G /\\ X > 3"])
+        assert excinfo.value.code == "XIC201"
+
+    def test_unsafe_negation_is_xic202(self):
+        # T is shared between the negation and the comparison but no
+        # positive literal binds it
+        denial = Denial((
+            Atom("emp", (Variable("I"), Variable("P"),
+                         Variable("D"), Variable("N"))),
+            Negation((Atom("pub", (Variable("J"), Variable("T"))),)),
+            Comparison("ne", Variable("T"), Constant("x")),
+        ))
+        codes = [code for code, _ in denial_safety_issues(denial)]
+        assert "XIC202" in codes
+
+    def test_unsafe_aggregate_is_xic203(self):
+        # the aggregate shares non-group variable X with the rest of
+        # the body, but nothing binds X
+        aggregate = Aggregate(func="cnt", distinct=True, term=None,
+                              group_by=(),
+                              body=(Atom("sub", (Variable("S"),
+                                                 Variable("X"))),))
+        denial = Denial((
+            AggregateCondition(aggregate, "gt", Constant(2)),
+            Comparison("eq", Variable("X"), Variable("X")),
+        ))
+        codes = [code for code, _ in denial_safety_issues(denial)]
+        assert "XIC203" in codes
+
+    def test_bound_variables_fixpoint(self):
+        denial = Denial((
+            Atom("emp", (Variable("I"),)),
+            Comparison("eq", Variable("J"), Variable("I")),
+            Comparison("gt", Variable("J"), Constant(0)),
+        ))
+        bound = bound_variables(denial)
+        assert Variable("I") in bound
+        assert Variable("J") in bound  # via the = closure
+        assert denial_safety_issues(denial) == []
+
+
+class TestRedundancy:
+    def test_equivalent_pair_is_xic302_on_the_later(self):
+        text = "<- //emp/ename/text() -> N"
+        report = lint_org(text, text, names=["first", "second"])
+        [diagnostic] = [d for d in report.diagnostics
+                        if d.code == "XIC302"]
+        assert diagnostic.subject == "second"
+
+    def test_one_way_implication_is_xic301(self):
+        general = "<- //emp/ename/text() -> N"
+        specific = '<- //emp/ename/text() -> N /\\ N = "Bob"'
+        report = lint_org(general, specific)
+        assert "XIC301" in report.codes()
+        assert "XIC302" not in report.codes()
+
+    def test_independent_constraints_are_silent(self):
+        report = lint_org("<- //emp/ename/text() -> N",
+                          "<- //head/hname/text() -> H")
+        assert report.diagnostics == []
+
+
+def bad_submission(fragment: str) -> str:
+    return f"""<?xml version="1.0"?>
+<xupdate:modifications version="1.0"
+    xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/review/track[1]/rev[1]">
+    {fragment}
+  </xupdate:append>
+</xupdate:modifications>"""
+
+
+class TestPatternAnalysis:
+    def lint_patterns(self, *patterns: str) -> "LintReport":
+        return lint_sources([PUB_DTD, REV_DTD], [CONFLICT_OF_INTEREST],
+                            patterns=list(patterns))
+
+    def test_good_pattern_is_clean(self):
+        report = self.lint_patterns(submission_xupdate(1, 1, "T", "A"))
+        assert report.diagnostics == []
+
+    def test_undeclared_tag_is_xic402(self):
+        report = self.lint_patterns(bad_submission(
+            '<xupdate:element name="chapter">x</xupdate:element>'))
+        assert "XIC402" in report.codes()
+
+    def test_wrong_parent_is_xic402(self):
+        # pub is declared, but no DTD puts it under rev
+        report = self.lint_patterns(bad_submission(
+            '<xupdate:element name="pub">'
+            "<title>T</title><aut><name>A</name></aut>"
+            "</xupdate:element>"))
+        assert "XIC402" in report.codes()
+
+    def test_content_model_violation_is_xic402(self):
+        # sub requires (title, auts+); an empty sub matches no valid
+        # update
+        report = self.lint_patterns(bad_submission(
+            '<xupdate:element name="sub"></xupdate:element>'))
+        assert "XIC402" in report.codes()
+
+    def test_undeclared_attribute_is_xic401(self):
+        report = self.lint_patterns(bad_submission(
+            '<xupdate:element name="sub">'
+            '<title lang="en">T</title><auts><name>A</name></auts>'
+            "</xupdate:element>"))
+        assert "XIC401" in report.codes()
+
+
+class TestRunningExampleIsClean:
+    def test_paper_schema_lints_clean(self):
+        report = lint_sources(
+            [PUB_DTD, REV_DTD],
+            [CONFLICT_OF_INTEREST, CONFERENCE_WORKLOAD],
+            names=["conflict_of_interest", "conference_workload"],
+            patterns=[submission_xupdate(1, 1, "T", "A")])
+        assert report.diagnostics == []
+        assert report.dead_constraints == []
+        assert report.compiled_constraints == [
+            "conflict_of_interest", "conference_workload"]
+
+    def test_paper_schema_collects_no_diagnostics(self, constraint_schema):
+        severities = {d.severity for d in constraint_schema.diagnostics}
+        assert ERROR not in severities
+        assert WARNING not in severities
+
+
+# -- property: clean lint ⟹ compiles and evaluates without error ---------
+
+TAGS = ["review", "track", "rev", "sub", "auts", "aut", "pub",
+        "name", "title", "dblp", "chapter"]
+
+
+@st.composite
+def random_constraints(draw):
+    steps = draw(st.lists(st.sampled_from(TAGS), min_size=1, max_size=3))
+    text = "<- //" + "/".join(steps) + "/text() -> A"
+    tail = draw(st.sampled_from(
+        ["", ' /\\ A = "x"', " /\\ A != B", " /\\ X > 3",
+         ' /\\ A != "y" /\\ A = "z"']))
+    return text + tail
+
+
+class TestCleanLintImpliesEvaluates:
+    @given(random_constraints())
+    @settings(max_examples=80, deadline=None)
+    def test_clean_constraint_compiles_and_evaluates(self, text):
+        report = lint_sources([PUB_DTD, REV_DTD], [text])
+        if report.count_at_least(ERROR):
+            return  # the linter rejected it; nothing to promise
+        from tests.conftest import PUB_XML, REV_XML
+        schema = ConstraintSchema([PUB_DTD, REV_DTD], [text])
+        documents = [parse_document(PUB_XML), parse_document(REV_XML)]
+        # may be violated, must not raise
+        BruteForceChecker(schema, documents).check_only()
+        DatalogChecker(schema, documents).violated_constraints()

@@ -114,6 +114,85 @@ class TestQuery:
         assert "<name>Alice</name>" in capsys.readouterr().out
 
 
+class TestConstraintFileContinuation:
+    def test_backslash_joins_lines(self, files, tmp_path, capsys):
+        wrapped = tmp_path / "wrapped.txt"
+        wrapped.write_text(
+            "# the conflict-of-interest denial, wrapped\n"
+            "<- //rev[/name/text() -> R]/sub/auts/name/text() -> A \\\n"
+            "   /\\ (A = R \\/ //pub[/aut/name/text() -> A \\\n"
+            "   /\\ aut/name/text() -> R])\n",
+            encoding="utf-8")
+        code = main(["describe", "--dtd", files["pub.dtd"],
+                     "--dtd", files["rev.dtd"],
+                     "--constraints-file", str(wrapped)])
+        assert code == 0
+        assert "← rev(Ir,_,_,R)" in capsys.readouterr().out
+
+    def test_parser_unit_behaviour(self):
+        from repro.cli import _parse_constraint_lines
+        text = ("# comment\n"
+                "a \\\n"
+                "  b\n"
+                "\n"
+                "c\n"
+                "d \\")
+        assert _parse_constraint_lines(text) == ["a b", "c", "d"]
+
+    def test_comment_only_outside_continuation(self):
+        from repro.cli import _parse_constraint_lines
+        assert _parse_constraint_lines("a \\\n# not a comment") \
+            == ["a # not a comment"]
+
+
+class TestLint:
+    def test_clean_schema_exits_zero(self, files, capsys):
+        code = main(["lint", *schema_args(files),
+                     "--pattern", files["pattern.xml"]])
+        assert code == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_bad_constraint_exits_one_with_code(self, files, capsys):
+        code = main(["lint", "--dtd", files["pub.dtd"],
+                     "--constraint", "<- //nosuch/text() -> T"])
+        assert code == 1
+        assert "XIC101" in capsys.readouterr().out
+
+    def test_json_format(self, files, capsys):
+        import json
+        code = main(["lint", "--dtd", files["pub.dtd"],
+                     "--constraint", "<- //nosuch/text() -> T",
+                     "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_severity"] == "error"
+        assert payload["diagnostics"][0]["code"] == "XIC101"
+
+    def test_fail_on_thresholds(self, files, tmp_path, capsys):
+        # head occurs at most once per dept, so two distinct heads of
+        # the same dept form a dead check (warning XIC105)
+        org = tmp_path / "org.dtd"
+        org.write_text(
+            "<!ELEMENT org (dept)*>\n"
+            "<!ELEMENT dept (head?, emp*)>\n"
+            "<!ELEMENT head (hname)>\n<!ELEMENT hname (#PCDATA)>\n"
+            "<!ELEMENT emp (ename)>\n<!ELEMENT ename (#PCDATA)>\n",
+            encoding="utf-8")
+        dead = ("<- //dept[/head/hname/text() -> A"
+                " /\\ /head/hname/text() -> B] /\\ A != B")
+        args = ["lint", "--dtd", str(org), "--constraint", dead]
+        assert main(args) == 1  # default --fail-on warning
+        capsys.readouterr()
+        assert main([*args, "--fail-on", "error"]) == 0
+        assert main([*args, "--fail-on", "never"]) == 0
+        assert "XIC105" in capsys.readouterr().out
+
+    def test_lint_allows_no_constraints(self, files, capsys):
+        code = main(["lint", "--dtd", files["pub.dtd"]])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+
 class TestErrors:
     def test_missing_constraints(self, files):
         with pytest.raises(SystemExit):
