@@ -1,7 +1,7 @@
 PYTHON ?= python3
 BENCH_SIZES ?= 32,64,128
 
-.PHONY: install test bench bench-smoke examples lint clean
+.PHONY: install test bench bench-smoke examples lint stress clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -31,6 +31,19 @@ lint:
 		--dtd examples/corpus/pub.dtd --dtd examples/corpus/rev.dtd \
 		--constraints-file examples/corpus/constraints.txt \
 		--pattern examples/corpus/submission.xml
+
+# concurrency stress harness: N writer threads x M mixed legal/illegal
+# updates against one shared DocumentStore, checked against a
+# sequential oracle replay.  faulthandler dumps all thread stacks on a
+# wedge; pytest-timeout (when installed) enforces a hard cap on top.
+STRESS_TIMEOUT := $(shell $(PYTHON) -c "import importlib.util as u; \
+	print('--timeout=600' if u.find_spec('pytest_timeout') else '')")
+
+stress:
+	REPRO_STRESS_THREADS=8 REPRO_STRESS_OPS=200 \
+		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -X faulthandler -m pytest tests/test_concurrency.py \
+		-q $(STRESS_TIMEOUT)
 
 examples:
 	$(PYTHON) examples/quickstart.py

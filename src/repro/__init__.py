@@ -52,6 +52,7 @@ from repro.core import (
     IntegrityGuard,
     UpdateDecision,
 )
+from repro.service import CheckingService, DocumentStore
 
 __version__ = "1.0.0"
 
@@ -85,8 +86,10 @@ __all__ = [
     "apply_text",
     "parse_modifications",
     "BruteForceChecker",
+    "CheckingService",
     "ConstraintSchema",
     "DatalogChecker",
+    "DocumentStore",
     "IntegrityGuard",
     "UpdateDecision",
     "__version__",

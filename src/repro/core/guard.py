@@ -27,14 +27,16 @@ from repro.datalog.evaluate import denial_holds
 from repro.datalog.subst import ParameterBinding
 from repro.datalog.terms import Constant, Parameter
 from repro.errors import (
+    AmbiguousSelectError,
     IntegrityViolationError,
+    SchemaError,
     SimplificationError,
     UpdateApplicationError,
 )
 from repro.relational.shredder import shred, subtree_facts
 from repro.xtree.node import Document, Element
 from repro.xupdate.analyze import signature_of
-from repro.xupdate.apply import AppliedOperation, apply_operation
+from repro.xupdate.apply import TransactionLog
 from repro.xupdate.parser import (
     InsertOperation,
     Operation,
@@ -64,8 +66,14 @@ class _CheckerBase:
         self.documents = list(documents)
         #: root tag → document; selects start at the root element, so
         #: this resolves the owning document without probing
-        self._documents_by_root = {
-            document.root.tag: document for document in self.documents}
+        self._documents_by_root: dict[str, Document] = {}
+        for document in self.documents:
+            tag = document.root.tag
+            if tag in self._documents_by_root:
+                raise SchemaError(
+                    f"two documents share the root tag {tag!r}; selects "
+                    "could not be routed to a single document")
+            self._documents_by_root[tag] = document
         self._listeners: list = []
 
     def subscribe(self, listener) -> None:
@@ -98,6 +106,10 @@ class _CheckerBase:
                 from repro.xupdate.apply import resolve_select
                 resolve_select(document, select)
                 return document
+            except AmbiguousSelectError:
+                # the select *does* resolve here, just not uniquely;
+                # trying further documents would mask the real problem
+                raise
             except UpdateApplicationError:
                 continue
         raise UpdateApplicationError(
@@ -142,24 +154,31 @@ class _CheckerBase:
 
 
 class BruteForceChecker(_CheckerBase):
-    """Apply, check the full constraints, roll back on violation."""
+    """Apply, check the full constraints, roll back on violation.
+
+    The apply-check sequence runs inside a :class:`TransactionLog`:
+    any exception mid-sequence — a later operation's select resolving
+    nowhere, a failure inside the consistency check or a listener —
+    rolls back every operation already applied, so a failed call never
+    leaves the documents partially mutated.
+    """
 
     def try_execute(self, update: "str | Operation") -> UpdateDecision:
         operations = self._operations(update)
-        applied: list[AppliedOperation] = []
-        for operation in operations:
-            document = self._document_for(operation)
-            applied.append(apply_operation(document, operation))
-        violated = self.verify_consistency()
-        if violated:
-            for record in reversed(applied):
-                record.rollback()
-            return self._notify(update, UpdateDecision(
-                False, violated, optimized=False, applied=False,
-                rolled_back=True))
-        return self._notify(update,
-                            UpdateDecision(True, optimized=False,
-                                           applied=True))
+        with TransactionLog() as log:
+            for operation in operations:
+                document = self._document_for(operation)
+                log.apply(document, operation)
+            violated = self.verify_consistency()
+            if violated:
+                log.rollback()
+                return self._notify(update, UpdateDecision(
+                    False, violated, optimized=False, applied=False,
+                    rolled_back=True))
+            decision = self._notify(update, UpdateDecision(
+                True, optimized=False, applied=True))
+            log.commit()
+        return decision
 
     def check_only(self) -> list[str]:
         """Run the full checks without touching the documents."""
@@ -167,39 +186,58 @@ class BruteForceChecker(_CheckerBase):
 
 
 class IntegrityGuard(_CheckerBase):
-    """Pre-update checking with the compiled optimized constraints."""
+    """Pre-update checking with the compiled optimized constraints.
+
+    Every apply sequence — the per-operation path, the deferred
+    transaction path and the brute-force probes — runs inside a
+    :class:`TransactionLog`, so an exception at any point (failed
+    select, ambiguous select, violation mid-probe, a raising listener)
+    restores the exact pre-call state.
+    """
 
     def try_execute(self, update: "str | Operation") -> UpdateDecision:
         operations = self._operations(update)
+        with TransactionLog() as log:
+            decision = self._decide(operations, log)
+            decision = self._notify(update, decision)
+            if decision.applied:
+                log.commit()
+        return decision
+
+    def _decide(self, operations: list[Operation],
+                log: TransactionLog) -> UpdateDecision:
+        """Check and (when legal) apply, recording undo records in
+        ``log``.  The caller owns commit/rollback."""
         if len(operations) > 1:
-            transaction = self._try_transaction(operations)
+            transaction = self._try_transaction(operations, log)
             if transaction is not None:
-                return self._notify(update, transaction)
+                return transaction
         decision = UpdateDecision(True, optimized=True)
-        applied: list[AppliedOperation] = []
         for operation in operations:
             step = self._check_one(operation)
             if not step.legal:
-                for record in reversed(applied):
-                    record.rollback()
                 step.applied = False
-                step.rolled_back = bool(applied)
-                return self._notify(update, step)
+                step.rolled_back = bool(len(log))
+                if len(log):
+                    log.rollback()
+                return step
             decision.optimized = decision.optimized and step.optimized
             document = self._document_for(operation)
-            applied.append(apply_operation(document, operation))
+            log.apply(document, operation)
         decision.applied = True
-        return self._notify(update, decision)
+        return decision
 
-    def _try_transaction(
-            self, operations: list[Operation]) -> UpdateDecision | None:
+    def _try_transaction(self, operations: list[Operation],
+                         log: TransactionLog) -> UpdateDecision | None:
         """Deferred checking for a registered multi-append transaction.
 
         The whole operation set is checked *once* against the
         pre-transaction state (definition 2's transaction semantics:
         constraints need not hold between the operations); ``None``
         means no transaction pattern matches and the caller falls back
-        to per-operation checking.
+        to per-operation checking.  A legal transaction is applied into
+        ``log``, so a failure on the k-th apply rolls back the first
+        k−1 instead of leaving them committed.
         """
         from repro.xupdate.parser import InsertOperation as _Insert
         if not all(isinstance(op, _Insert) and op.kind == "append"
@@ -233,22 +271,18 @@ class IntegrityGuard(_CheckerBase):
             return UpdateDecision(False, violated, optimized=True)
         for operation in operations:
             document = self._document_for(operation)
-            apply_operation(document, operation)
+            log.apply(document, operation)
         return UpdateDecision(True, optimized=True, applied=True)
 
     def _transaction_probe(self, operations: list[Operation],
                            only: list[str]) -> list[str]:
         """Apply all, check the given constraints, roll everything back."""
-        applied: list[AppliedOperation] = []
-        try:
+        with TransactionLog() as probe:
             for operation in operations:
                 document = self._document_for(operation)
-                applied.append(apply_operation(document, operation))
+                probe.apply(document, operation)
             return [name for name in self.verify_consistency()
                     if name in only]
-        finally:
-            for record in reversed(applied):
-                record.rollback()
 
     def _check_one(self, operation: Operation) -> UpdateDecision:
         if isinstance(operation, RemoveOperation):
@@ -306,14 +340,12 @@ class IntegrityGuard(_CheckerBase):
         the probe reports legality, keeping a single application path.
         """
         document = self._document_for(operation)
-        record = apply_operation(document, operation)
-        try:
+        with TransactionLog() as probe:
+            probe.apply(document, operation)
             violated = [
                 name for name in self.verify_consistency()
                 if only is None or name in only
             ]
-        finally:
-            record.rollback()
         return UpdateDecision(not violated, violated, optimized=False)
 
 

@@ -92,6 +92,11 @@ class UpdateApplicationError(ReproError):
     resolves to nothing, target has the wrong node kind, ...)."""
 
 
+class AmbiguousSelectError(UpdateApplicationError):
+    """A select path matches more than one element, so the operation has
+    no single well-defined target."""
+
+
 class SimplificationError(ReproError):
     """The simplification procedure cannot produce a sound optimized check
     for a constraint/update-pattern pair.  Callers fall back to the full

@@ -1,0 +1,29 @@
+"""Thread-safe service layer over the run-time checkers.
+
+The checkers in :mod:`repro.core` are correct for one caller at a
+time; this package makes them safe to share:
+
+* :class:`ReadWriteLock` — writer-preferring reader–writer lock;
+* :class:`DocumentStore` — the document collection behind one lock;
+* :class:`CheckingService` — the façade serving updates (serialized)
+  and read-only checks (concurrent), with a commit log whose
+  sequential replay reproduces the store's exact state.
+
+Together with the :class:`~repro.xupdate.apply.TransactionLog` that
+makes every update all-or-nothing, this is the robustness layer the
+scaling work (sharding, batching, async) builds on.
+"""
+
+from repro.service.locks import ReadWriteLock
+from repro.service.store import (
+    CheckingService,
+    CommittedUpdate,
+    DocumentStore,
+)
+
+__all__ = [
+    "ReadWriteLock",
+    "CheckingService",
+    "CommittedUpdate",
+    "DocumentStore",
+]

@@ -1,0 +1,88 @@
+"""Reader–writer locking for the checking service.
+
+The paper's checkers are single-threaded by construction; serving many
+users needs a concurrency discipline.  Reads (``verify_consistency``,
+snapshots, ad-hoc queries) never mutate the documents, so any number of
+them may run together; writes (``try_execute`` and everything that
+applies or rolls back operations) require exclusivity.  This module
+provides the classic writer-preferring reader–writer lock used by
+:class:`repro.service.DocumentStore`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preferring reader–writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  A waiting writer blocks *new* readers (writer preference),
+    so a steady stream of cheap reads cannot starve updates.
+
+    The lock is not reentrant: a thread must not acquire the read side
+    while holding the write side or vice versa.  The service layer
+    keeps that discipline by taking exactly one side per public call.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side ----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers < 0:
+                raise RuntimeError("release_read without acquire_read")
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    # -- write side ---------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._condition.notify_all()
+
+    # -- context managers ---------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,171 @@
+"""Thread-safe document collection and checking façade.
+
+:class:`DocumentStore` owns the documents and their reader–writer
+lock; :class:`CheckingService` composes a store with one of the
+run-time checkers and exposes the checker interface with the locking
+discipline applied:
+
+* writers (``try_execute`` / ``execute``) are serialized — at most one
+  update mutates the documents at a time, and the underlying
+  :class:`~repro.xupdate.apply.TransactionLog` guarantees each update
+  is all-or-nothing, so readers never observe a torn state;
+* readers (``verify_consistency``, ``snapshot``) run concurrently with
+  each other and are excluded only while a writer holds the lock.
+
+The service also keeps a *commit log* — the updates that were actually
+applied, in commit order — which makes the final state reproducible by
+a sequential replay (the oracle the concurrency stress tests check
+against, and the natural hook for future replication/sharding layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.guard import IntegrityGuard, UpdateDecision, _CheckerBase
+from repro.core.schema import ConstraintSchema
+from repro.errors import IntegrityViolationError, SchemaError
+from repro.service.locks import ReadWriteLock
+from repro.xtree.node import Document
+from repro.xtree.serializer import serialize
+from repro.xupdate.parser import Operation
+
+
+class DocumentStore:
+    """A collection of documents behind one reader–writer lock.
+
+    The store is the unit of consistency: one lock covers all the
+    documents a constraint set spans, because a single update (or a
+    single check) may touch several of them.
+    """
+
+    def __init__(self, documents: Iterable[Document]) -> None:
+        self._documents = list(documents)
+        seen: set[str] = set()
+        for document in self._documents:
+            tag = document.root.tag
+            if tag in seen:
+                raise SchemaError(
+                    f"two documents share the root tag {tag!r}; selects "
+                    "could not be routed to a single document")
+            seen.add(tag)
+        self.lock = ReadWriteLock()
+
+    @property
+    def documents(self) -> list[Document]:
+        """The live document list (shared with the checkers).
+
+        Callers must hold the appropriate side of :attr:`lock` while
+        touching the documents themselves.
+        """
+        return self._documents
+
+    def document(self, root_tag: str) -> Document:
+        for document in self._documents:
+            if document.root.tag == root_tag:
+                return document
+        raise SchemaError(f"no document with root tag {root_tag!r}")
+
+    def read_locked(self):
+        return self.lock.read_locked()
+
+    def write_locked(self):
+        return self.lock.write_locked()
+
+    def snapshot(self) -> list[str]:
+        """Serialized form of every document, under the read lock."""
+        with self.read_locked():
+            return [serialize(document) for document in self._documents]
+
+
+@dataclass(frozen=True)
+class CommittedUpdate:
+    """One entry of the service's commit log."""
+
+    sequence: int
+    update: "str | Operation"
+    decision: UpdateDecision
+
+
+class CheckingService:
+    """Thread-safe façade over a run-time checker.
+
+    Wraps a checker (an :class:`IntegrityGuard` by default) and a
+    :class:`DocumentStore`, serializing writers while letting read-only
+    checks run concurrently.  All consistency guarantees of the
+    underlying checker — illegal updates never applied, failed updates
+    fully rolled back — therefore hold under concurrent callers too.
+    """
+
+    def __init__(self, schema: ConstraintSchema,
+                 documents: "Iterable[Document] | DocumentStore",
+                 checker_factory: Callable[..., _CheckerBase]
+                 = IntegrityGuard) -> None:
+        if isinstance(documents, DocumentStore):
+            self.store = documents
+        else:
+            self.store = DocumentStore(documents)
+        self.checker = checker_factory(schema, self.store.documents)
+        self._committed: list[CommittedUpdate] = []
+
+    @classmethod
+    def from_checker(cls, checker: _CheckerBase) -> "CheckingService":
+        """Wrap an existing checker (and its documents) in a service.
+
+        The checker must not be driven directly afterwards — every call
+        has to go through the service for the locking to mean anything.
+        """
+        service = cls.__new__(cls)
+        service.store = DocumentStore(checker.documents)
+        service.checker = checker
+        service._committed = []
+        return service
+
+    # -- writers -------------------------------------------------------------
+
+    def try_execute(self, update: "str | Operation") -> UpdateDecision:
+        """Check and (when legal) apply one update, exclusively.
+
+        Exactly :meth:`IntegrityGuard.try_execute` under the writer
+        lock; applied updates are appended to the commit log.
+        """
+        with self.store.write_locked():
+            decision = self.checker.try_execute(update)
+            if decision.applied:
+                self._committed.append(CommittedUpdate(
+                    len(self._committed), update, decision))
+            return decision
+
+    def execute(self, update: "str | Operation") -> UpdateDecision:
+        """Like :meth:`try_execute` but raises on violation."""
+        decision = self.try_execute(update)
+        if not decision.legal:
+            raise IntegrityViolationError(decision.violated)
+        return decision
+
+    # -- readers -------------------------------------------------------------
+
+    def verify_consistency(self) -> list[str]:
+        """Full constraint check, concurrent with other readers."""
+        with self.store.read_locked():
+            return self.checker.verify_consistency()
+
+    def snapshot(self) -> list[str]:
+        """Serialized documents, concurrent with other readers."""
+        return self.store.snapshot()
+
+    def committed_updates(self) -> list[CommittedUpdate]:
+        """The commit log so far, in commit order (a copy)."""
+        with self.store.read_locked():
+            return list(self._committed)
+
+    # -- passthroughs -------------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Register a listener on the underlying checker.
+
+        Listeners run inside the writer-locked, transactional scope: a
+        listener that raises rolls the update back.
+        """
+        self.checker.subscribe(listener)

@@ -7,6 +7,7 @@ the roots of every document in the collection, in collection order.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterator
@@ -439,9 +440,15 @@ class _IndexLRU:
     retires one cold entry at a time instead of dumping the whole
     cache.  ``hits``/``misses`` are observability hooks for tests and
     benchmarks.
+
+    All access runs under an internal lock: the cache is process-global
+    and concurrent read-only checks (``verify_consistency`` under a
+    :class:`repro.service.DocumentStore` reader lock) hit it from many
+    threads at once, and even ``get`` reorders the underlying
+    ``OrderedDict``.
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses")
+    __slots__ = ("capacity", "_entries", "hits", "misses", "_lock")
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = capacity
@@ -449,29 +456,34 @@ class _IndexLRU:
             OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
 
     def get(self, key: tuple) -> "dict[tuple, list] | None":
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, value: "dict[tuple, list]") -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: value indexes for hash joins — the stand-in for a native XML

@@ -23,6 +23,7 @@ rules (untyped atomics match both their string and numeric readings).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.xquery.ast import (
@@ -144,18 +145,24 @@ def index_dependencies(expression: Expression) -> frozenset[str] | None:
     lists contain same-tag siblings only.  Explicit ``position()`` /
     ``last()`` uses are treated as unbounded.
     """
-    cached = _DEPENDENCY_CACHE.get(expression, _MISSING)
+    with _DEPENDENCY_LOCK:
+        cached = _DEPENDENCY_CACHE.get(expression, _MISSING)
     if cached is not _MISSING:
         return cached
     tags = _dependencies(expression)
-    if len(_DEPENDENCY_CACHE) > 4096:
-        _DEPENDENCY_CACHE.clear()
-    _DEPENDENCY_CACHE[expression] = tags
+    with _DEPENDENCY_LOCK:
+        if len(_DEPENDENCY_CACHE) > 4096:
+            _DEPENDENCY_CACHE.clear()
+        _DEPENDENCY_CACHE[expression] = tags
     return tags
 
 
 _MISSING = object()
 _DEPENDENCY_CACHE: dict[Expression, frozenset[str] | None] = {}
+#: the analysis caches are process-global and hit by concurrent readers
+#: (see repro.service); dict mutation is guarded, recomputation is
+#: idempotent so it may race outside the lock
+_DEPENDENCY_LOCK = threading.Lock()
 
 _UNBOUNDED_NODETESTS = {"*", "node()", "position()"}
 _UNBOUNDED_FUNCTIONS = {"position", "last"}
@@ -331,18 +338,22 @@ class JoinPlan:
 
 
 _PLAN_CACHE: dict[Quantified, JoinPlan] = {}
+_PLAN_LOCK = threading.Lock()
 
 
 def plan_for(quantified: Quantified) -> JoinPlan:
     """The (cached) join plan of a quantified expression.
 
     AST nodes are immutable and hash by value, so structurally equal
-    expressions share one plan.
+    expressions share one plan.  Plans are immutable once built, so two
+    threads racing on a miss at worst build the same plan twice.
     """
-    plan = _PLAN_CACHE.get(quantified)
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(quantified)
     if plan is None:
         plan = JoinPlan(quantified)
-        if len(_PLAN_CACHE) > 4096:
-            _PLAN_CACHE.clear()
-        _PLAN_CACHE[quantified] = plan
+        with _PLAN_LOCK:
+            if len(_PLAN_CACHE) > 4096:
+                _PLAN_CACHE.clear()
+            _PLAN_CACHE[quantified] = plan
     return plan

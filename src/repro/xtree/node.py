@@ -15,6 +15,7 @@ relies on (the Δ sets of section 5.1).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 
@@ -254,11 +255,19 @@ class Document:
     """
 
     __slots__ = ("root", "_next_id", "_nodes_by_id", "revision",
-                 "_elements_by_tag", "_tag_revisions", "_tag_order_cache")
+                 "_elements_by_tag", "_tag_revisions", "_tag_order_cache",
+                 "_lock")
 
     def __init__(self, root: Element) -> None:
         if root.parent is not None:
             raise ValueError("document root must be detached")
+        #: guards the id counter, the tag index and its revision
+        #: counters.  Structural mutations (adopt/orphan) must be
+        #: serialized externally (e.g. the DocumentStore writer lock);
+        #: this lock only makes the *derived* index state — lazy
+        #: document-order fills, revision reads — safe for concurrent
+        #: readers.  Reentrant: adopt() allocates ids under the lock.
+        self._lock = threading.RLock()
         self.root = root
         self._next_id = 1
         self._nodes_by_id: dict[int, Node] = {}
@@ -277,6 +286,10 @@ class Document:
 
     def adopt(self, node: Node) -> None:
         """Register ``node`` and its subtree, assigning missing ids."""
+        with self._lock:
+            self._adopt_locked(node)
+
+    def _adopt_locked(self, node: Node) -> None:
         self.revision += 1
         stack = [node]
         while stack:
@@ -298,6 +311,10 @@ class Document:
 
     def orphan(self, node: Node) -> None:
         """Unregister ``node`` and its subtree from the id index."""
+        with self._lock:
+            self._orphan_locked(node)
+
+    def _orphan_locked(self, node: Node) -> None:
         self.revision += 1
         if isinstance(node, Text) and node.parent is not None:
             self._bump_tag(node.parent.tag)
@@ -334,7 +351,8 @@ class Document:
         directly under one — is attached or detached.  Caches derived
         from a set of tags stay valid while all their tag revisions do.
         """
-        return self._tag_revisions.get(tag, 0)
+        with self._lock:
+            return self._tag_revisions.get(tag, 0)
 
     def elements_by_tag(self, tag: str) -> list[Element]:
         """All attached elements with ``tag``, in document order.
@@ -344,23 +362,26 @@ class Document:
         ``//tag`` steps between updates cost a dictionary lookup.
         Mutating the returned list is not allowed.
         """
-        revision = self._tag_revisions.get(tag, 0)
-        cached = self._tag_order_cache.get(tag)
-        if cached is not None and cached[0] == revision:
-            return cached[1]
-        bucket = self._elements_by_tag.get(tag)
-        if not bucket:
-            elements: list[Element] = []
-        else:
-            elements = sorted(bucket.values(), key=_document_order_key)
-        self._tag_order_cache[tag] = (revision, elements)
-        return elements
+        with self._lock:
+            revision = self._tag_revisions.get(tag, 0)
+            cached = self._tag_order_cache.get(tag)
+            if cached is not None and cached[0] == revision:
+                return cached[1]
+            bucket = self._elements_by_tag.get(tag)
+            if not bucket:
+                elements: list[Element] = []
+            else:
+                elements = sorted(bucket.values(),
+                                  key=_document_order_key)
+            self._tag_order_cache[tag] = (revision, elements)
+            return elements
 
     def allocate_id(self) -> int:
         """Return a fresh node identifier (never used in this document)."""
-        node_id = self._next_id
-        self._next_id += 1
-        return node_id
+        with self._lock:
+            node_id = self._next_id
+            self._next_id += 1
+            return node_id
 
     def node_by_id(self, node_id: int) -> Node | None:
         """Look up a currently attached node by identifier."""

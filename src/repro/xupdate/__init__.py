@@ -23,7 +23,12 @@ from repro.xupdate.parser import (
     RemoveOperation,
     parse_modifications,
 )
-from repro.xupdate.apply import AppliedOperation, apply_operation, apply_text
+from repro.xupdate.apply import (
+    AppliedOperation,
+    TransactionLog,
+    apply_operation,
+    apply_text,
+)
 from repro.xupdate.analyze import (
     AnalyzedUpdate,
     UpdateSignature,
@@ -36,6 +41,7 @@ __all__ = [
     "RemoveOperation",
     "parse_modifications",
     "AppliedOperation",
+    "TransactionLog",
     "apply_operation",
     "apply_text",
     "AnalyzedUpdate",

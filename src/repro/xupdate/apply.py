@@ -5,14 +5,21 @@ The evaluation section of the paper compares the optimized strategy
 roll back on violation); rollbacks are "simulated by performing a
 compensating action" — here the exact inverse operation recorded by
 :class:`AppliedOperation`.
+
+Multi-operation updates are made atomic by :class:`TransactionLog`,
+which generalizes one undo record to a whole sequence: every path that
+applies more than one operation runs inside a log, and any exception —
+failed select, malformed content, violation mid-probe — restores the
+exact pre-call state.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.errors import UpdateApplicationError
+from repro.errors import AmbiguousSelectError, UpdateApplicationError
 from repro.xquery.ast import Expression
 from repro.xquery.engine import evaluate_query
 from repro.xquery.parser import parse_query
@@ -52,34 +59,122 @@ class AppliedOperation:
         self.rolled_back = True
 
 
+class TransactionLog:
+    """Undo log making a multi-operation update atomic.
+
+    Generalizes a single :class:`AppliedOperation` to a sequence: each
+    :meth:`apply` executes one operation and records its undo record,
+    and :meth:`rollback` undoes the whole sequence newest-first.  Used
+    as a context manager the log is *abort-by-default*: leaving the
+    block without :meth:`commit` — an exception, or a deliberate
+    apply-check-rollback probe — restores the exact pre-transaction
+    state.  Each undo record is rolled back at most once, whichever
+    combination of explicit and exit-time rollback runs.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[AppliedOperation] = []
+        self._state = "open"
+
+    @property
+    def records(self) -> list[AppliedOperation]:
+        """The undo records recorded so far (a copy)."""
+        return list(self._records)
+
+    @property
+    def state(self) -> str:
+        """``"open"``, ``"committed"`` or ``"rolled-back"``."""
+        return self._state
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def apply(self, document: Document,
+              operation: Operation) -> AppliedOperation:
+        """Execute one operation and record its undo record."""
+        self._require_open()
+        record = apply_operation(document, operation)
+        self._records.append(record)
+        return record
+
+    def record(self, record: AppliedOperation) -> AppliedOperation:
+        """Adopt an operation that was applied outside the log."""
+        self._require_open()
+        self._records.append(record)
+        return record
+
+    def commit(self) -> None:
+        """Keep the applied operations; rollback becomes impossible."""
+        self._require_open()
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """Undo every recorded operation, newest first."""
+        self._require_open()
+        self._abort()
+
+    def _require_open(self) -> None:
+        if self._state != "open":
+            raise UpdateApplicationError(
+                f"transaction already {self._state}")
+
+    def _abort(self) -> None:
+        self._state = "rolled-back"
+        for record in reversed(self._records):
+            if not record.rolled_back:
+                record.rollback()
+
+    def __enter__(self) -> "TransactionLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._state == "open":
+            self._abort()
+        return False
+
+
 #: select text → parsed path, LRU-bounded.  Selects repeat heavily
 #: (every update against the same anchor re-resolves the same path) and
 #: parsing them per operation is the last run-time lexing the guard
-#: would otherwise do.
+#: would otherwise do.  Lock-protected: concurrent readers of a shared
+#: DocumentStore resolve selects outside the writer lock.
 _SELECT_CACHE: "OrderedDict[str, Expression]" = OrderedDict()
 _SELECT_CACHE_CAPACITY = 512
+_SELECT_CACHE_LOCK = threading.Lock()
 
 
 def parsed_select(select: str) -> Expression:
     """The (cached) parse of a select path."""
-    expression = _SELECT_CACHE.get(select)
-    if expression is None:
-        expression = parse_query(select)
+    with _SELECT_CACHE_LOCK:
+        expression = _SELECT_CACHE.get(select)
+        if expression is not None:
+            _SELECT_CACHE.move_to_end(select)
+            return expression
+    expression = parse_query(select)
+    with _SELECT_CACHE_LOCK:
         _SELECT_CACHE[select] = expression
         if len(_SELECT_CACHE) > _SELECT_CACHE_CAPACITY:
             _SELECT_CACHE.popitem(last=False)
-    else:
-        _SELECT_CACHE.move_to_end(select)
     return expression
 
 
 def resolve_select(document: Document, select: str) -> Element:
-    """Resolve a select path to a single element of the document."""
+    """Resolve a select path to a single element of the document.
+
+    A select matching more than one element is rejected: silently
+    mutating only the first match would make the applied update depend
+    on document order the caller never sees.
+    """
     result = evaluate_query(parsed_select(select), document)
     elements = [item for item in result if isinstance(item, Element)]
     if not elements:
         raise UpdateApplicationError(
             f"select {select!r} matches no element")
+    if len(elements) > 1:
+        raise AmbiguousSelectError(
+            f"select {select!r} is ambiguous: it matches "
+            f"{len(elements)} elements; qualify the path (e.g. with "
+            "positional predicates) until exactly one matches")
     return elements[0]
 
 
@@ -131,16 +226,13 @@ def _apply_remove(document: Document,
 
 
 def apply_text(document: Document, text: str) -> list[AppliedOperation]:
-    """Parse and execute a whole modification document."""
-    applied: list[AppliedOperation] = []
-    try:
+    """Parse and execute a whole modification document, atomically."""
+    log = TransactionLog()
+    with log:
         for operation in parse_modifications(text):
-            applied.append(apply_operation(document, operation))
-    except Exception:
-        for record in reversed(applied):
-            record.rollback()
-        raise
-    return applied
+            log.apply(document, operation)
+        log.commit()
+    return log.records
 
 
 def _deep_copy(node: Node) -> Node:

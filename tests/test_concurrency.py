@@ -1,0 +1,253 @@
+"""Concurrency stress harness for the thread-safe checking service.
+
+N writer threads hammer one shared :class:`CheckingService` with a mix
+of legal updates, constraint-violating updates and updates whose select
+fails, while readers run full consistency checks throughout.  The
+assertions are the service's whole contract:
+
+* no torn states — every read sees either none or all of an update;
+* ``verify_consistency()`` is clean at every point in time;
+* the final store equals a *sequential oracle replay* of the commit
+  log on fresh documents — concurrency changed nothing but the order.
+
+Sized by ``REPRO_STRESS_THREADS`` × ``REPRO_STRESS_OPS`` (default
+8 × 200, the ``make stress`` configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import IntegrityGuard
+from repro.datagen.running_example import make_schema, submission_xupdate
+from repro.errors import UpdateApplicationError
+from repro.service import CheckingService, ReadWriteLock
+from repro.xtree import parse_document, serialize
+from tests.conftest import PUB_XML, REV_XML
+
+THREADS = int(os.environ.get("REPRO_STRESS_THREADS", "8"))
+OPS = int(os.environ.get("REPRO_STRESS_OPS", "200"))
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return make_schema()
+
+
+def fresh_documents():
+    return [parse_document(PUB_XML), parse_document(REV_XML)]
+
+
+class TestReadWriteLock:
+    def test_readers_run_concurrently(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                # both readers must be inside the lock at once to
+                # release the barrier; a serializing lock would block
+                inside.wait()
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        observed: list[str] = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                time.sleep(0.05)
+                observed.append("write-done")
+
+        def reader():
+            writer_in.wait(timeout=5)
+            with lock.read_locked():
+                observed.append("read")
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert observed == ["write-done", "read"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        order: list[str] = []
+        first_reader_in = threading.Event()
+        writer_waiting = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                writer_waiting.wait(timeout=5)
+                time.sleep(0.05)
+                order.append("reader1")
+
+        def writer():
+            first_reader_in.wait(timeout=5)
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            writer_waiting.wait(timeout=5)
+            time.sleep(0.01)  # give the writer time to start waiting
+            with lock.read_locked():
+                order.append("reader2")
+
+        threads = [threading.Thread(target=t)
+                   for t in (first_reader, writer, late_reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        # the late reader arrived while the writer was waiting, so the
+        # writer (preference) goes first
+        assert order.index("writer") < order.index("reader2")
+
+    def test_unbalanced_release_rejected(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestCheckingService:
+    def test_legal_update_applies_and_logs(self, schema):
+        service = CheckingService(schema, fresh_documents())
+        decision = service.try_execute(
+            submission_xupdate(1, 1, "New Title", "New Author"))
+        assert decision.legal and decision.applied
+        log = service.committed_updates()
+        assert len(log) == 1 and log[0].sequence == 0
+
+    def test_illegal_update_rejected_and_unlogged(self, schema):
+        service = CheckingService(schema, fresh_documents())
+        before = service.snapshot()
+        decision = service.try_execute(
+            submission_xupdate(1, 1, "Self Review", "Alice"))
+        assert not decision.legal
+        assert service.committed_updates() == []
+        assert service.snapshot() == before
+
+    def test_execute_raises_on_violation(self, schema):
+        from repro.errors import IntegrityViolationError
+        service = CheckingService(schema, fresh_documents())
+        with pytest.raises(IntegrityViolationError):
+            service.execute(submission_xupdate(1, 1, "Bad", "Alice"))
+
+    def test_listener_exception_rolls_back_through_service(self, schema):
+        service = CheckingService(schema, fresh_documents())
+
+        def listener(update, decision):
+            raise RuntimeError("injected")
+
+        service.subscribe(listener)
+        before = service.snapshot()
+        with pytest.raises(RuntimeError):
+            service.try_execute(submission_xupdate(1, 1, "T", "A"))
+        assert service.snapshot() == before
+        assert service.committed_updates() == []
+        # the writer lock must have been released despite the exception
+        assert service.verify_consistency() == []
+
+
+class TestStressHarness:
+    def test_mixed_workload_matches_sequential_oracle(self, schema):
+        service = CheckingService(schema, fresh_documents())
+        start = threading.Barrier(THREADS + 1, timeout=30)
+        writers_done = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer(thread_id: int):
+            try:
+                start.wait()
+                for index in range(OPS):
+                    kind = index % 4
+                    if kind == 0:
+                        # violates conflict_of_interest: Alice reviews
+                        # her own submission
+                        decision = service.try_execute(submission_xupdate(
+                            1, 1, f"Bad {thread_id}-{index}", "Alice"))
+                        assert not decision.legal, "illegal update passed"
+                        assert not decision.applied
+                    elif kind == 1:
+                        # select resolves nowhere: must raise, must
+                        # leave no trace
+                        try:
+                            service.try_execute(submission_xupdate(
+                                9, 9, f"Lost {thread_id}-{index}", "X"))
+                        except UpdateApplicationError:
+                            pass
+                        else:
+                            raise AssertionError(
+                                "bad select did not raise")
+                    else:
+                        track = 1 + (index % 2)
+                        decision = service.try_execute(submission_xupdate(
+                            track, 1, f"T {thread_id}-{index}",
+                            f"Author {thread_id}-{index}"))
+                        assert decision.legal and decision.applied
+                    if index % 25 == 0:
+                        assert service.verify_consistency() == [], \
+                            "store inconsistent mid-stress"
+            except BaseException as error:  # noqa: B036 - repropagated
+                errors.append(error)
+
+        def reader():
+            try:
+                start.wait()
+                while not writers_done.is_set():
+                    assert service.verify_consistency() == [], \
+                        "reader saw an inconsistent store"
+                    snapshot = service.snapshot()
+                    assert len(snapshot) == 2
+                    time.sleep(0.005)
+            except BaseException as error:  # noqa: B036 - repropagated
+                errors.append(error)
+
+        reader_thread = threading.Thread(target=reader)
+        writer_threads = [
+            threading.Thread(target=writer, args=(thread_id,))
+            for thread_id in range(THREADS)]
+        reader_thread.start()
+        for thread in writer_threads:
+            thread.start()
+        for thread in writer_threads:
+            thread.join(timeout=300)
+        writers_done.set()
+        reader_thread.join(timeout=60)
+        assert not errors, f"worker failures: {errors[:3]}"
+        assert not any(t.is_alive()
+                       for t in writer_threads + [reader_thread])
+
+        # every legal update committed, nothing else did
+        committed = service.committed_updates()
+        legal_per_thread = sum(1 for i in range(OPS) if i % 4 >= 2)
+        assert len(committed) == THREADS * legal_per_thread
+        assert [record.sequence for record in committed] \
+            == list(range(len(committed)))
+
+        # the final store equals a sequential replay of the commit log
+        # on fresh documents — zero torn states
+        oracle_documents = fresh_documents()
+        oracle = IntegrityGuard(schema, oracle_documents)
+        for record in committed:
+            decision = oracle.try_execute(record.update)
+            assert decision.legal and decision.applied
+        assert [serialize(document) for document in oracle_documents] \
+            == service.snapshot()
+        assert service.verify_consistency() == []
