@@ -1,7 +1,8 @@
 PYTHON ?= python3
 BENCH_SIZES ?= 32,64,128
 
-.PHONY: install test bench bench-smoke examples lint stress clean
+.PHONY: install test bench bench-smoke bench-planner \
+	bench-planner-smoke examples lint stress clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -21,6 +22,26 @@ bench-smoke:
 		$(PYTHON) -m pytest benchmarks/test_prepared_queries.py \
 		--benchmark-only --benchmark-min-rounds=1 \
 		--benchmark-json=BENCH_prepared.json
+
+# planner ablation (planned vs unplanned full checks, batched vs
+# sequential update checking) across all sizes; emits
+# BENCH_planner.json and gates on the acceptance floors
+bench-planner:
+	REPRO_BENCH_SIZES_KIB=$(BENCH_SIZES) \
+		$(PYTHON) -m pytest benchmarks/test_planner_ablation.py \
+		--benchmark-only --benchmark-min-rounds=3 \
+		--benchmark-json=BENCH_planner.json
+	$(PYTHON) scripts/check_planner_gate.py BENCH_planner.json
+
+# one-round CI smoke at the smallest size, gated against the committed
+# BENCH_planner.json baseline ratios (>20% regression fails)
+bench-planner-smoke:
+	REPRO_BENCH_SIZES_KIB=32 \
+		$(PYTHON) -m pytest benchmarks/test_planner_ablation.py \
+		--benchmark-only --benchmark-min-rounds=1 \
+		--benchmark-json=BENCH_planner_smoke.json
+	$(PYTHON) scripts/check_planner_gate.py BENCH_planner_smoke.json \
+		--baseline BENCH_planner.json
 
 # static tooling (pip install -e .[lint]); constraint linting of the
 # examples corpus runs with no extra dependencies

@@ -192,6 +192,50 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.xquery.planner import explain_query, install_priors
+
+    schema = _build_schema(args)
+    documents = _load_documents(args.document)
+    install_priors(schema.cardinality_priors())
+    if args.update:
+        from repro.xupdate.parser import parse_modifications
+
+        guard = IntegrityGuard(schema, documents)
+        for operation in parse_modifications(_read(args.update)):
+            checks = guard._checks_for(operation)
+            if checks is None:
+                print(f"-- {operation.select}: no registered pattern "
+                      "(brute-force fallback, nothing to plan)")
+                continue
+            document = guard._document_for(operation)
+            bindings = checks.analyzed.bind(document, operation)
+            for check in checks.optimized:
+                if check.trivial:
+                    continue
+                for query in check.queries:
+                    if query.prepared is None:
+                        continue
+                    variables = query.variables_for(bindings) \
+                        if query.parameters else None
+                    print(f"== {check.constraint.name} "
+                          f"(simplified check) ==")
+                    print(explain_query(query.prepared, documents,
+                                        variables))
+                    print()
+        return 0
+    for constraint in schema.constraints:
+        if constraint.dead:
+            continue
+        for query in constraint.full_queries:
+            if query.prepared is None:
+                continue
+            print(f"== {constraint.name} (full check) ==")
+            print(explain_query(query.prepared, documents))
+            print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,6 +283,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="lowest severity that causes exit code 1 "
                            "(default: warning)")
     lint.set_defaults(handler=cmd_lint)
+
+    explain = commands.add_parser(
+        "explain",
+        help="print the planner's chosen evaluation order for the "
+             "compiled checks, with estimated vs. actual cardinalities")
+    _add_schema_arguments(explain)
+    explain.add_argument("--update",
+                         help="XUpdate file: explain the simplified "
+                              "checks this update triggers instead of "
+                              "the full constraint checks")
+    explain.add_argument("document", nargs="+", help="XML document file")
+    explain.set_defaults(handler=cmd_explain)
 
     query = commands.add_parser(
         "query", help="evaluate an XQuery expression over documents")

@@ -34,6 +34,7 @@ from repro.errors import (
     UpdateApplicationError,
 )
 from repro.relational.shredder import shred, subtree_facts
+from repro.xquery import planner
 from repro.xtree.node import Document, Element
 from repro.xupdate.analyze import signature_of
 from repro.xupdate.apply import TransactionLog
@@ -75,6 +76,9 @@ class _CheckerBase:
                     "could not be routed to a single document")
             self._documents_by_root[tag] = document
         self._listeners: list = []
+        # seed the check planner's cold-document estimates with the
+        # schema's DTD cardinality bounds
+        planner.install_priors(schema.cardinality_priors())
 
     def subscribe(self, listener) -> None:
         """Register ``listener(update, decision)``, called after every
@@ -146,6 +150,18 @@ class _CheckerBase:
     def try_execute(self, update: "str | Operation") -> UpdateDecision:
         raise NotImplementedError
 
+    def check_batch(
+            self,
+            updates: "list[str | Operation]") -> list[UpdateDecision]:
+        """Check and apply a sequence of updates, one decision each.
+
+        Semantically identical to calling :meth:`try_execute` in a
+        loop — update *k* is checked against the state left by updates
+        1..k−1, and an illegal update is rejected without affecting the
+        rest.  Subclasses override this to share work across the batch.
+        """
+        return [self.try_execute(update) for update in updates]
+
     @staticmethod
     def _operations(update: "str | Operation") -> list[Operation]:
         if isinstance(update, str):
@@ -203,6 +219,39 @@ class IntegrityGuard(_CheckerBase):
             if decision.applied:
                 log.commit()
         return decision
+
+    def check_batch(
+            self,
+            updates: "list[str | Operation]") -> list[UpdateDecision]:
+        """Batched :meth:`try_execute` with shared value indexes.
+
+        Decisions are identical to the sequential loop (each update is
+        checked against the state left by its predecessors), but the
+        hash-join and predicate indexes the checks build are kept
+        incrementally repaired across the batch by a planner
+        :func:`~repro.xquery.planner.batch_scope` — instead of being
+        rebuilt from scratch after every applied update, which is what
+        makes N sequential calls quadratic in practice.
+        """
+        decisions: list[UpdateDecision] = []
+        with planner.batch_scope() as scope:
+            for update in updates:
+                operations = self._operations(update)
+                records: list = []
+                with TransactionLog() as log:
+                    decision = self._decide(operations, log)
+                    decision = self._notify(update, decision)
+                    if decision.applied:
+                        records = log.records
+                        log.commit()
+                # repair indexes only after the log has settled: a
+                # rejected update's rollback happens on context exit
+                if decision.applied:
+                    scope.note_applied(records)
+                else:
+                    scope.note_rejected()
+                decisions.append(decision)
+        return decisions
 
     def _decide(self, operations: list[Operation],
                 log: TransactionLog) -> UpdateDecision:

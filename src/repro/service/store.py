@@ -144,6 +144,25 @@ class CheckingService:
             raise IntegrityViolationError(decision.violated)
         return decision
 
+    def check_batch(
+            self,
+            updates: "list[str | Operation]") -> list[UpdateDecision]:
+        """Check and apply a batch of updates under one lock round.
+
+        Exactly :meth:`~repro.core.guard.IntegrityGuard.check_batch`
+        (shared, incrementally repaired check indexes) with the writer
+        lock acquired *once* for the whole batch; applied updates enter
+        the commit log in batch order.  Decisions match the sequential
+        :meth:`try_execute` loop update for update.
+        """
+        with self.store.write_locked():
+            decisions = self.checker.check_batch(updates)
+            for update, decision in zip(updates, decisions):
+                if decision.applied:
+                    self._committed.append(CommittedUpdate(
+                        len(self._committed), update, decision))
+            return decisions
+
     # -- readers -------------------------------------------------------------
 
     def verify_consistency(self) -> list[str]:

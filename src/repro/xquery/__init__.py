@@ -24,6 +24,12 @@ the paper's setting where constraints span both ``pub.xml`` and
 
 from repro.xquery.parser import parse_query
 from repro.xquery.engine import QueryContext, evaluate_query
+from repro.xquery.planner import (
+    batch_scope,
+    explain_query,
+    query_truth_planned,
+    unplanned,
+)
 from repro.xquery.translate import (
     TranslatedQuery,
     translate_denial,
@@ -37,4 +43,8 @@ __all__ = [
     "TranslatedQuery",
     "translate_denial",
     "translate_denials",
+    "query_truth_planned",
+    "explain_query",
+    "batch_scope",
+    "unplanned",
 ]

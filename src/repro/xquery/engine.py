@@ -146,7 +146,7 @@ def _evaluate_path(path: PathExpr, context: QueryContext) -> Sequence:
         current = _evaluate(path.start, context)
     for step, descendant in zip(path.steps, path.descendant_flags):
         if descendant:
-            fast = _indexed_tag_step(step, current)
+            fast = _indexed_tag_step(step, current, context)
             if fast is not None:
                 current = fast
                 continue
@@ -155,20 +155,32 @@ def _evaluate_path(path: PathExpr, context: QueryContext) -> Sequence:
     return current
 
 
-def _indexed_tag_step(step: AxisStep, sequence: Sequence) -> Sequence | None:
+def _indexed_tag_step(step: AxisStep, sequence: Sequence,
+                      context: QueryContext) -> Sequence | None:
     """``//tag`` over whole documents, served by the per-tag index.
 
     Applicable when every context item is a document and the step is a
-    plain named child step without predicates: the result is exactly
-    the document's elements with that tag, which
+    named child step: the candidates are exactly the document's
+    elements with that tag, which
     :meth:`repro.xtree.node.Document.elements_by_tag` maintains
-    incrementally.  Predicated steps keep the generic path (their
-    candidate lists are per-parent).  Returns ``None`` when not
-    applicable.
+    incrementally — documents whose tag bucket is empty contribute
+    nothing, so a step whose ``index_dependencies`` only one document
+    can satisfy never walks the others.  Predicates are allowed when
+    they filter purely by effective boolean value
+    (:func:`repro.xquery.optimizer.boolean_filter_safe`): those are
+    insensitive to the per-parent candidate partitioning of the generic
+    path, so applying them element-wise over the index fetch is
+    equivalent.  Positional predicates keep the generic path.  Returns
+    ``None`` when not applicable.
     """
-    if step.axis != "child" or step.predicates \
+    if step.axis != "child" \
             or step.nodetest in ("*", "node()", "text()", "position()"):
         return None
+    if step.predicates:
+        from repro.xquery.optimizer import boolean_filter_safe
+        if not all(boolean_filter_safe(predicate)
+                   for predicate in step.predicates):
+            return None
     if not all(isinstance(item, Document) for item in sequence):
         return None
     result: Sequence = []
@@ -177,6 +189,8 @@ def _indexed_tag_step(step: AxisStep, sequence: Sequence) -> Sequence | None:
         if id(document) not in seen:
             seen.add(id(document))
             result.extend(document.elements_by_tag(step.nodetest))
+    for predicate in step.predicates:
+        result = _filter_predicate(predicate, result, context)
     return result
 
 
@@ -490,6 +504,12 @@ class _IndexLRU:
 #: database's value index (see :func:`_hash_index`)
 _INDEX_CACHE = _IndexLRU()
 
+#: installed by :mod:`repro.xquery.planner`: receives every cacheable
+#: hash-join index so an active batch scope can repair it incrementally
+#: across the updates of a batch instead of rebuilding it per update.
+#: ``None`` (no planner imported / no batch active) is a no-op.
+_batch_index_sink = None
+
 
 def _index_cache_key(source: "Expression", key_side: "Expression",
                      context: QueryContext) -> tuple:
@@ -540,6 +560,8 @@ def _hash_index(name: str, source: "Expression", key_side: "Expression",
         cache_key = _index_cache_key(source, key_side, context)
         cached = _INDEX_CACHE.get(cache_key)
         if cached is not None:
+            if _batch_index_sink is not None:
+                _batch_index_sink(name, source, key_side, context, cached)
             return cached
     index_map: dict[tuple, list] = {}
     for item in _evaluate(source, context):
@@ -549,6 +571,8 @@ def _hash_index(name: str, source: "Expression", key_side: "Expression",
                 index_map.setdefault(key, []).append(item)
     if cache_key is not None:
         _INDEX_CACHE.put(cache_key, index_map)
+        if _batch_index_sink is not None:
+            _batch_index_sink(name, source, key_side, context, index_map)
     return index_map
 
 

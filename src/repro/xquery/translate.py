@@ -119,11 +119,15 @@ class TranslatedQuery:
         Uses the prepared plan with variable-bound parameters when
         available, falling back to instantiate-and-parse otherwise.
         """
+        from repro.xquery import planner
         from repro.xquery.engine import query_truth
 
         if self.prepared is not None:
             variables = self.variables_for(bindings or {}) \
                 if self.parameters else None
+            if planner.enabled():
+                return planner.query_truth_planned(
+                    self.prepared, documents, variables)
             return query_truth(self.prepared, documents, variables)
         return query_truth(self.instantiate(bindings or {}), documents)
 

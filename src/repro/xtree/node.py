@@ -256,7 +256,7 @@ class Document:
 
     __slots__ = ("root", "_next_id", "_nodes_by_id", "revision",
                  "_elements_by_tag", "_tag_revisions", "_tag_order_cache",
-                 "_lock")
+                 "_tag_stats_cache", "_lock")
 
     def __init__(self, root: Element) -> None:
         if root.parent is not None:
@@ -281,6 +281,9 @@ class Document:
         self._tag_revisions: dict[str, int] = {}
         #: tag → (tag revision, document-ordered element list)
         self._tag_order_cache: dict[str, tuple[int, list[Element]]] = {}
+        #: tag → (tag revision, distinct direct-text value count); the
+        #: planner's per-tag statistics, recomputed lazily per revision
+        self._tag_stats_cache: dict[str, tuple[int, int]] = {}
         root.document = None  # adopt() sets it
         self.adopt(root)
 
@@ -343,6 +346,7 @@ class Document:
     def _bump_tag(self, tag: str) -> None:
         self._tag_revisions[tag] = self._tag_revisions.get(tag, 0) + 1
         self._tag_order_cache.pop(tag, None)
+        self._tag_stats_cache.pop(tag, None)
 
     def tag_revision(self, tag: str) -> int:
         """Change counter for one node type (0 if never present).
@@ -375,6 +379,63 @@ class Document:
                                   key=_document_order_key)
             self._tag_order_cache[tag] = (revision, elements)
             return elements
+
+    # -- planner statistics --------------------------------------------------
+
+    def tag_count(self, tag: str) -> int:
+        """Number of currently attached elements with ``tag``.
+
+        Served from the incremental tag index under the document lock,
+        so a planner statistics refresh can never observe a bucket that
+        a concurrent index maintenance step is mid-way through filling.
+        """
+        with self._lock:
+            bucket = self._elements_by_tag.get(tag)
+            return len(bucket) if bucket else 0
+
+    def tag_distinct_count(self, tag: str) -> int:
+        """Distinct direct-text values among elements with ``tag``.
+
+        The planner's stand-in for a value-index histogram: the
+        selectivity of an equality on ``tag``'s text is estimated as
+        ``1 / tag_distinct_count(tag)``.  Recomputed lazily and cached
+        per tag revision (like the document-order cache), all under the
+        per-document lock.
+        """
+        with self._lock:
+            revision = self._tag_revisions.get(tag, 0)
+            cached = self._tag_stats_cache.get(tag)
+            if cached is not None and cached[0] == revision:
+                return cached[1]
+            bucket = self._elements_by_tag.get(tag)
+            if not bucket:
+                distinct = 0
+            else:
+                distinct = len({
+                    element.text() for element in bucket.values()})
+            self._tag_stats_cache[tag] = (revision, distinct)
+            return distinct
+
+    def element_count(self) -> int:
+        """Total number of currently attached elements."""
+        with self._lock:
+            return sum(len(bucket)
+                       for bucket in self._elements_by_tag.values())
+
+    def statistics_snapshot(
+            self, tags: "list[str]") -> dict[str, tuple[int, int, int]]:
+        """Atomic ``tag → (count, distinct, tag revision)`` snapshot.
+
+        Taken under the document lock in one critical section, so the
+        per-tag numbers are mutually consistent even while a writer
+        thread is between adopt/orphan calls on other documents.
+        """
+        with self._lock:
+            return {
+                tag: (self.tag_count(tag), self.tag_distinct_count(tag),
+                      self._tag_revisions.get(tag, 0))
+                for tag in tags
+            }
 
     def allocate_id(self) -> int:
         """Return a fresh node identifier (never used in this document)."""
