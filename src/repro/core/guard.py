@@ -119,6 +119,15 @@ class _CheckerBase:
         raise UpdateApplicationError(
             f"select {select!r} resolves in none of the documents")
 
+    def _apply(self, log: TransactionLog, operation: Operation) -> None:
+        """Resolve the target document and apply ``operation`` into
+        ``log``, announcing the mutation to any active planner batch
+        scope first — indexes the checks build after this point reflect
+        a mid-update state and must not be batch-repaired."""
+        document = self._document_for(operation)
+        planner.note_batch_mutation()
+        log.apply(document, operation)
+
     def verify_consistency(self) -> list[str]:
         """Names of constraints currently violated (full check).
 
@@ -183,8 +192,7 @@ class BruteForceChecker(_CheckerBase):
         operations = self._operations(update)
         with TransactionLog() as log:
             for operation in operations:
-                document = self._document_for(operation)
-                log.apply(document, operation)
+                self._apply(log, operation)
             violated = self.verify_consistency()
             if violated:
                 log.rollback()
@@ -271,8 +279,7 @@ class IntegrityGuard(_CheckerBase):
                     log.rollback()
                 return step
             decision.optimized = decision.optimized and step.optimized
-            document = self._document_for(operation)
-            log.apply(document, operation)
+            self._apply(log, operation)
         decision.applied = True
         return decision
 
@@ -319,8 +326,7 @@ class IntegrityGuard(_CheckerBase):
         if violated:
             return UpdateDecision(False, violated, optimized=True)
         for operation in operations:
-            document = self._document_for(operation)
-            log.apply(document, operation)
+            self._apply(log, operation)
         return UpdateDecision(True, optimized=True, applied=True)
 
     def _transaction_probe(self, operations: list[Operation],
@@ -328,8 +334,7 @@ class IntegrityGuard(_CheckerBase):
         """Apply all, check the given constraints, roll everything back."""
         with TransactionLog() as probe:
             for operation in operations:
-                document = self._document_for(operation)
-                probe.apply(document, operation)
+                self._apply(probe, operation)
             return [name for name in self.verify_consistency()
                     if name in only]
 
@@ -388,9 +393,8 @@ class IntegrityGuard(_CheckerBase):
         the update is always rolled back — the caller re-applies it if
         the probe reports legality, keeping a single application path.
         """
-        document = self._document_for(operation)
         with TransactionLog() as probe:
-            probe.apply(document, operation)
+            self._apply(probe, operation)
             violated = [
                 name for name in self.verify_consistency()
                 if only is None or name in only

@@ -56,6 +56,7 @@ asserts verdict-for-verdict.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -107,6 +108,7 @@ __all__ = [
     "enabled",
     "explain_query",
     "install_priors",
+    "note_batch_mutation",
     "query_truth_planned",
     "unplanned",
 ]
@@ -1395,16 +1397,33 @@ class _PlanEntry:
                  truth_fn: TruthClosure,
                  infos: list[_QuantifierInfo]) -> None:
         self.expression = expression
-        self.documents = documents
+        #: weak references only: a cached plan must not keep whole
+        #: document trees alive after their owners drop them
+        self.documents = tuple(
+            weakref.ref(document) for document in documents)
         self.revisions = revisions
         self.strategy = strategy
         self.truth_fn = truth_fn
         self.infos = infos
 
+    def matches(self, documents: tuple[Document, ...]) -> bool:
+        """All referents alive and identical to ``documents``.
+
+        A dead referent (or an ``id()`` reused by a new document after
+        the original died) dereferences to ``None`` or a different
+        object, so the entry fails here and is rebuilt — the weakref
+        replaces the strong references that used to pin identity.
+        """
+        return len(self.documents) == len(documents) and all(
+            reference() is document
+            for reference, document in zip(self.documents, documents))
+
 
 _PLAN_LOCK = threading.Lock()
-#: (query, document ids) → _PlanEntry; entries hold strong document
-#: references, so identity keys cannot be aliased by id reuse
+#: (query, document ids) → _PlanEntry; entries hold only *weak*
+#: document references — :meth:`_PlanEntry.matches` detects both dead
+#: referents and id-reuse aliasing, so stale entries are rebuilt
+#: instead of pinning document trees until LRU eviction
 _PLAN_LRU: "OrderedDict[tuple, _PlanEntry]" = OrderedDict()
 _PLAN_CAPACITY = 64
 #: (query, strategy) → (truth closure, explain infos): compiled
@@ -1440,8 +1459,7 @@ def _plan_truth(expression: Expression,
         entry = _PLAN_LRU.get(key)
         if entry is not None:
             _PLAN_LRU.move_to_end(key)
-    if entry is not None and all(
-            a is b for a, b in zip(entry.documents, documents)):
+    if entry is not None and entry.matches(documents):
         if entry.revisions == revisions:
             return entry.truth_fn
         stats = Statistics(documents)
@@ -1484,7 +1502,16 @@ def query_truth_planned(
         documents = tuple(documents)
     truth_fn = _plan_truth(query, documents)
     rt = _Runtime(documents, dict(variables) if variables else {})
-    return truth_fn(rt)
+    try:
+        return truth_fn(rt)
+    except XQueryEvaluationError:
+        # Pre-factor hoisting and conjunct reordering can evaluate a
+        # factor the engine's fixed nesting order never reaches (empty
+        # source, earlier short-circuit).  If that factor raises —
+        # division by zero, unknown function — the engine's evaluation
+        # order decides whether the error is real, so defer to it.
+        from repro.xquery.engine import query_truth
+        return query_truth(query, list(documents), variables)
 
 
 def clear_caches() -> None:
@@ -1610,12 +1637,13 @@ class _BatchEntry:
     """One repairable value index shared across a batch's checks."""
 
     __slots__ = ("tag", "documents", "index_map", "key_of", "make_key",
-                 "reverse")
+                 "reverse", "mutation_mark")
 
     def __init__(self, tag: str, documents: tuple[Document, ...],
                  index_map: dict[tuple, list],
                  key_of: Callable[[Element], list],
-                 make_key: Callable[[], tuple]) -> None:
+                 make_key: Callable[[], tuple],
+                 mutation_mark: int) -> None:
         self.tag = tag
         self.documents = documents
         self.index_map = index_map
@@ -1623,6 +1651,12 @@ class _BatchEntry:
         self.make_key = make_key
         #: id(element) → keys it is filed under; built on first repair
         self.reverse: dict[int, list[tuple]] | None = None
+        #: the scope's mutation counter when the index was registered;
+        #: an entry registered after the in-flight update started
+        #: mutating documents already reflects part of that update and
+        #: must not be repaired or re-filed (see :meth:`BatchScope
+        #: ._drop_unsettled`)
+        self.mutation_mark = mutation_mark
 
     def _ensure_reverse(self) -> dict[int, list[tuple]]:
         if self.reverse is None:
@@ -1668,6 +1702,14 @@ class BatchScope:
     entries in place, re-filing them in the engine's index cache under
     the post-update revision state — so the next check of the batch
     hits a warm, current index instead of rebuilding from scratch.
+
+    Repairs apply only to indexes registered against the *settled*
+    between-updates state: the guard announces every mid-update apply
+    via :meth:`note_mutation`, and entries registered after that point
+    (an index rebuilt while checking operation k of a multi-operation
+    update, or inside an apply-check-rollback probe) are discarded at
+    the next :meth:`note_applied`/:meth:`note_rejected` instead of
+    being patched — they already reflect part of the in-flight update.
     """
 
     def __init__(self) -> None:
@@ -1675,6 +1717,27 @@ class BatchScope:
         #: observability for tests/benchmarks
         self.repairs = 0
         self.registered = 0
+        self.dropped = 0
+        #: mutations the guard has announced (:meth:`note_mutation`)
+        self.mutations = 0
+        #: :attr:`mutations` at the last *settled* point — batch start
+        #: or the end of the previous update's
+        #: :meth:`note_applied`/:meth:`note_rejected`.  Entries
+        #: registered while ``mutations > _settled`` were built from a
+        #: mid-update document state.
+        self._settled = 0
+
+    def note_mutation(self) -> None:
+        """The guard is about to mutate a document mid-update.
+
+        Called before *every* operation application inside the
+        in-flight update — the per-operation path, deferred transaction
+        applies and apply-check-rollback probes alike.  Indexes
+        registered after this point already contain (or, post-probe,
+        once contained) part of the update and are dropped instead of
+        repaired when the update settles.
+        """
+        self.mutations += 1
 
     def register(self, identity: tuple, tag: str,
                  documents: tuple[Document, ...],
@@ -1685,7 +1748,8 @@ class BatchScope:
         if entry is not None and entry.index_map is index_map:
             return
         self._entries[identity] = _BatchEntry(
-            tag, documents, index_map, key_of, make_key)
+            tag, documents, index_map, key_of, make_key,
+            self.mutations)
         self.registered += 1
 
     def register_join(self, name: str, source: Expression,
@@ -1732,7 +1796,16 @@ class BatchScope:
         ancestor elements whose downward key paths now see the inserted
         content.  Finally every entry over a mutated document is
         re-filed under its post-update cache key.
+
+        Only entries registered while the documents were *settled*
+        (before the update's first apply) are repaired.  An index
+        rebuilt mid-update — operation k's check runs after operations
+        1..k−1 of the same update applied, and probes apply, check and
+        roll back — already contains part of ``records``, so repairing
+        it would double-file the inserted elements.  Those entries are
+        dropped instead; rebuild-on-miss is the correct fallback.
         """
+        self._drop_unsettled()
         touched_documents: set[int] = set()
         for record in records:
             document = record.document
@@ -1741,6 +1814,7 @@ class BatchScope:
                 self._drop_for_document(document)
             for node in record.inserted:
                 self._repair_insert(document, node)
+        self._settled = self.mutations
         if not touched_documents:
             return
         for entry in self._entries.values():
@@ -1754,10 +1828,25 @@ class BatchScope:
         """Re-file entries after a rolled-back (illegal) update.
 
         The rollback restored the exact pre-update structure, so every
-        index map is still correct — only the revision counters moved.
+        *settled* index map is still correct — only the revision
+        counters moved.  Entries registered after the update started
+        mutating documents (mid-update rebuilds, probe-time rebuilds)
+        still index the now-detached inserted nodes, so they are
+        dropped rather than re-filed.
         """
+        self._drop_unsettled()
         for entry in self._entries.values():
             engine._INDEX_CACHE.put(entry.make_key(), entry.index_map)
+        self._settled = self.mutations
+
+    def _drop_unsettled(self) -> None:
+        """Forget entries registered during the in-flight update's
+        mutation window — they reflect a partially applied state."""
+        stale = [identity for identity, entry in self._entries.items()
+                 if entry.mutation_mark > self._settled]
+        for identity in stale:
+            del self._entries[identity]
+        self.dropped += len(stale)
 
     def _drop_for_document(self, document: Document) -> None:
         dropped = [identity for identity, entry in self._entries.items()
@@ -1818,6 +1907,18 @@ _BATCH = threading.local()
 
 def active_batch() -> BatchScope | None:
     return getattr(_BATCH, "scope", None)
+
+
+def note_batch_mutation() -> None:
+    """Record an imminent document mutation with the active batch scope.
+
+    The guard calls this before every operation application — per-
+    operation applies, deferred transaction applies and apply-check-
+    rollback probes.  No-op outside a batch.
+    """
+    scope = active_batch()
+    if scope is not None:
+        scope.note_mutation()
 
 
 @contextmanager

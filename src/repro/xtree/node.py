@@ -256,7 +256,7 @@ class Document:
 
     __slots__ = ("root", "_next_id", "_nodes_by_id", "revision",
                  "_elements_by_tag", "_tag_revisions", "_tag_order_cache",
-                 "_tag_stats_cache", "_lock")
+                 "_tag_stats_cache", "_lock", "__weakref__")
 
     def __init__(self, root: Element) -> None:
         if root.parent is not None:

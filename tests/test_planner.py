@@ -9,8 +9,10 @@ ever change how fast an answer arrives, never the answer.
 
 from __future__ import annotations
 
+import gc
 import random
 import threading
+import weakref
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -27,13 +29,14 @@ from repro.xquery.planner import (
     batch_scope,
     clear_caches,
     explain_query,
+    note_batch_mutation,
     query_truth_planned,
     unplanned,
 )
 from repro.xtree.node import Document, Element, Text
 from repro.xtree.parser import parse_document
 from repro.xtree.serializer import serialize
-from repro.xupdate.apply import apply_operation
+from repro.xupdate.apply import TransactionLog, apply_operation
 from repro.xupdate.parser import parse_modifications
 
 SCHEMA = make_schema()
@@ -159,6 +162,25 @@ def _update_mix(rev_doc, seed):
     return updates
 
 
+def _multi_submission(parts):
+    """One modification document appending several submissions."""
+    blocks = []
+    for track, rev, title, author in parts:
+        select = f"/review/track[{track}]/rev[{rev}]"
+        blocks.append(
+            f'  <xupdate:append select="{select}">\n'
+            f'    <xupdate:element name="sub">\n'
+            f'      <title>{title}</title>\n'
+            f'      <auts><name>{author}</name></auts>\n'
+            f'    </xupdate:element>\n'
+            f'  </xupdate:append>')
+    return ('<?xml version="1.0"?>\n'
+            '<xupdate:modifications version="1.0"\n'
+            '    xmlns:xupdate="http://www.xmldb.org/xupdate">\n'
+            + "\n".join(blocks)
+            + '\n</xupdate:modifications>')
+
+
 class TestDifferentialUpdates:
     def test_guard_decisions_match_unplanned(self):
         planned_docs = _fresh_documents()
@@ -200,6 +222,37 @@ class TestDifferentialUpdates:
             baseline = [
                 guard.try_execute(update)
                 for update in _update_mix(baseline_docs[1], seed)]
+        assert [_decision_key(d) for d in batched] \
+            == [_decision_key(d) for d in baseline]
+        assert [serialize(d) for d in batch_docs] \
+            == [serialize(d) for d in baseline_docs]
+
+    def test_check_batch_multi_operation_updates_match_sequential(self):
+        # multi-operation updates check operation k after operations
+        # 1..k-1 of the same update applied, so mid-batch index
+        # rebuilds happen against a partially applied state — the
+        # scenario the batch scope's settled-state bookkeeping guards
+        def updates():
+            return [
+                _multi_submission([(1, 2, "A", "Nobody A"),
+                                   (2, 1, "B", "Nobody B")]),
+                submission_xupdate(1, 1, "Sneaky", "Bob"),
+                _multi_submission([(1, 3, "C", "Nobody C"),
+                                   (1, 1, "Own", "Bob")]),
+                _multi_submission([(3, 1, "D", "Nobody D"),
+                                   (3, 2, "E", "Nobody E")]),
+                submission_xupdate(2, 2, "F", "Nobody F"),
+                _multi_submission([(2, 1, "G", "Nobody G"),
+                                   (2, 3, "H", "Nobody H")]),
+            ]
+        batch_docs = _fresh_documents()
+        batched = IntegrityGuard(SCHEMA, batch_docs).check_batch(
+            updates())
+        with unplanned():
+            baseline_docs = _fresh_documents()
+            guard = IntegrityGuard(SCHEMA, baseline_docs)
+            baseline = [guard.try_execute(update)
+                        for update in updates()]
         assert [_decision_key(d) for d in batched] \
             == [_decision_key(d) for d in baseline]
         assert [serialize(d) for d in batch_docs] \
@@ -326,6 +379,39 @@ class TestPlanCache:
         from repro.xquery import planner
         assert planner.enabled()
 
+    def test_plan_cache_holds_documents_weakly(self):
+        clear_caches()
+        local_docs = _fresh_documents()
+        expression = parse_query("count(//pub) >= 2")
+        assert query_truth_planned(expression, local_docs) \
+            == query_truth(expression, local_docs)
+        references = [weakref.ref(document) for document in local_docs]
+        del local_docs
+        gc.collect()
+        # cached plan entries must not pin the document trees
+        assert all(reference() is None for reference in references)
+
+
+class TestPlannedErrorFallback:
+    """Reordering must not surface errors the engine's order avoids."""
+
+    def test_hoisted_factor_error_defers_to_engine(self, documents):
+        # the condition has no quantifier variables, so planning hoists
+        # it before the (empty) source is ever iterated; the engine
+        # never evaluates it and returns a verdict
+        query = parse_query("some $x in //nosuch satisfies 1 div 0 = 1")
+        assert query_truth(query, documents) is False
+        assert query_truth_planned(query, documents) is False
+
+    def test_errors_the_engine_raises_still_raise(self, documents):
+        from repro.errors import XQueryEvaluationError
+        query = parse_query(
+            "some $x in //nosuch satisfies $x/title/text() = 1 div 0")
+        with pytest.raises(XQueryEvaluationError):
+            query_truth(query, documents)
+        with pytest.raises(XQueryEvaluationError):
+            query_truth_planned(query, documents)
+
 
 class TestExplain:
     def test_explain_shows_order_and_cardinalities(self, documents):
@@ -375,6 +461,64 @@ class TestBatchScope:
         # the conflict check's //aut hash join is registered once the
         # engine builds it inside the scope
         assert scope.registered >= 1
+
+    def test_rejected_mid_update_rebuild_is_dropped(self):
+        # an index rebuilt while an update is partially applied indexes
+        # the inserted nodes; after the update rolls back those nodes
+        # are detached, so re-filing that index would resurrect them as
+        # phantom witnesses for the rest of the batch
+        documents = _fresh_documents()
+        rev_doc = documents[1]
+        expression = parse_query(
+            "some $x in //sub satisfies $x/title/text() = 'Phantom'")
+        operation = parse_modifications(
+            submission_xupdate(1, 1, "Phantom", "Nobody Known"))[0]
+        with batch_scope() as scope:
+            assert query_truth_planned(expression, documents) is False
+            with TransactionLog() as log:
+                note_batch_mutation()
+                log.apply(rev_doc, operation)
+                # mid-update rebuild: the sub tag revision moved, so
+                # this check misses the cache and indexes the
+                # half-applied state
+                assert query_truth_planned(expression, documents) \
+                    is True
+                log.rollback()
+            scope.note_rejected()
+            assert scope.dropped >= 1
+            assert query_truth(expression, documents) is False
+            assert query_truth_planned(expression, documents) is False
+
+    def test_applied_mid_update_rebuild_is_dropped(self):
+        # an index rebuilt after the update's first operation already
+        # contains that operation's elements; repairing it with the
+        # full record list on commit would file them twice, breaking
+        # the remove-first-occurrence re-key repair later on
+        documents = _fresh_documents()
+        rev_doc = documents[1]
+        expression = parse_query(
+            "some $x in //sub satisfies $x/title/text() = 'Dup'")
+        operations = parse_modifications(_multi_submission([
+            (1, 2, "Dup", "Nobody A"), (2, 1, "Dup", "Nobody B")]))
+        with batch_scope() as scope:
+            assert query_truth_planned(expression, documents) is False
+            with TransactionLog() as log:
+                note_batch_mutation()
+                log.apply(rev_doc, operations[0])
+                assert query_truth_planned(expression, documents) \
+                    is True
+                note_batch_mutation()
+                log.apply(rev_doc, operations[1])
+                records = log.records
+                log.commit()
+            scope.note_applied(records)
+            assert scope.dropped >= 1
+            for entry in scope._entries.values():
+                for bucket in entry.index_map.values():
+                    identities = [id(element) for element in bucket]
+                    assert len(identities) == len(set(identities))
+            assert query_truth_planned(expression, documents) is True
+            assert query_truth(expression, documents) is True
 
     def test_indexed_descendant_step_matches_walk(self, documents):
         from repro.xquery.engine import evaluate_query
