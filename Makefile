@@ -2,7 +2,12 @@ PYTHON ?= python3
 BENCH_SIZES ?= 32,64,128
 
 .PHONY: install test bench bench-smoke bench-planner \
-	bench-planner-smoke examples lint stress clean
+	bench-planner-smoke examples lint stress faultcheck clean
+
+# fault-injection matrix: seeds x named schedules, each run asserting
+# the crash-consistency invariant battery (see docs/testing.md)
+FAULTCHECK_SEEDS ?= --seed 1 --seed 2 --seed 3
+FAULTCHECK_OPS ?= 40
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -65,6 +70,11 @@ stress:
 		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) -X faulthandler -m pytest tests/test_concurrency.py \
 		-q $(STRESS_TIMEOUT)
+
+faultcheck:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m repro.cli faultcheck $(FAULTCHECK_SEEDS) \
+		--ops $(FAULTCHECK_OPS) --repro-file FAULTCHECK_REPRO.txt
 
 examples:
 	$(PYTHON) examples/quickstart.py

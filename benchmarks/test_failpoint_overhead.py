@@ -1,0 +1,85 @@
+"""Failpoint overhead: the unarmed fast path must stay near-free.
+
+The failpoint contract (design constraint 1 of
+``repro.testing.failpoints``) is that an unarmed site costs one
+empty-dict lookup — cheap enough to leave the instrumentation in the
+production apply/check/commit path.  Three curves:
+
+* ``baseline``  — the same loop around a bare ``dict.get`` call, the
+  theoretical floor;
+* ``unarmed``   — ``fail.point()`` with nothing armed (the shipped
+  configuration); must track the baseline within a small factor;
+* ``armed-miss``— another site armed, so the lookup hits a one-entry
+  dict but still returns ``None``; the worst non-firing case.
+
+Run via ``make bench`` (or ``pytest benchmarks/ --benchmark-only``).
+"""
+
+from repro.testing.failpoints import FailPointRegistry
+
+ROUNDS = 10_000
+SITE = "xupdate.apply.pre_op"
+OTHER = "core.guard.post_check"
+
+
+def _loop_point(registry: FailPointRegistry) -> None:
+    point = registry.point
+    for _ in range(ROUNDS):
+        point(SITE)
+
+
+def test_baseline_dict_get(benchmark):
+    benchmark.group = "failpoint-unarmed"
+    lookup: dict = {}
+
+    def loop() -> None:
+        get = lookup.get
+        for _ in range(ROUNDS):
+            get(SITE)
+
+    benchmark(loop)
+
+
+def test_unarmed_point(benchmark):
+    benchmark.group = "failpoint-unarmed"
+    registry = FailPointRegistry()
+    benchmark(_loop_point, registry)
+
+
+def test_armed_other_site_miss(benchmark):
+    benchmark.group = "failpoint-unarmed"
+    registry = FailPointRegistry()
+    with registry.armed({OTHER: "count:1"}):
+        benchmark(_loop_point, registry)
+
+
+def test_unarmed_overhead_factor():
+    """Non-benchmark gate: unarmed point within 60x of a dict lookup.
+
+    A pure ``dict.get`` is a handful of nanoseconds, so the generous
+    factor still rejects any structural regression (taking the lock,
+    counting hits, formatting) while tolerating noisy shared runners.
+    """
+    import time
+
+    lookup: dict = {}
+    registry = FailPointRegistry()
+
+    def timed(callable_, *args) -> float:
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            callable_(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def baseline() -> None:
+        get = lookup.get
+        for _ in range(ROUNDS):
+            get(SITE)
+
+    floor = timed(baseline)
+    unarmed = timed(_loop_point, registry)
+    assert unarmed < floor * 60, \
+        f"unarmed fail.point too slow: {unarmed:.6f}s vs dict.get " \
+        f"floor {floor:.6f}s over {ROUNDS} calls"

@@ -180,6 +180,50 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.count_at_least(threshold) else 0
 
 
+def cmd_faultcheck(args: argparse.Namespace) -> int:
+    from repro.testing.failpoints import SITES
+    from repro.testing.harness import (
+        SCHEDULES,
+        InvariantViolation,
+        run_matrix,
+    )
+
+    if args.list_sites:
+        for site, description in sorted(SITES.items()):
+            print(f"{site}: {description}")
+        return 0
+    if args.list_schedules:
+        for name, spec in SCHEDULES.items():
+            print(f"{name}: {spec}")
+        return 0
+    seeds = args.seed or [1, 2, 3]
+    schedules = args.schedule or list(SCHEDULES)
+    try:
+        reports = run_matrix(
+            seeds, schedules, ops=args.ops,
+            progress=lambda report: print(f"ok: {report.summary()}"))
+    except ValueError as error:  # bad schedule/trigger spec
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except InvariantViolation as violation:
+        print(f"FAULTCHECK FAILED\n{violation}", file=sys.stderr)
+        if args.repro_file:
+            lines = [line for line in str(violation).splitlines()
+                     if "reproduce with:" in line]
+            Path(args.repro_file).write_text(
+                (lines[0].split("reproduce with:", 1)[1].strip()
+                 if lines else str(violation)) + "\n",
+                encoding="utf-8")
+            print(f"wrote reproduction command to {args.repro_file}",
+                  file=sys.stderr)
+        return 1
+    total = sum(report.faults_fired for report in reports)
+    print(f"faultcheck passed: {len(reports)} scenarios "
+          f"({len(seeds)} seeds x {len(schedules)} schedules), "
+          f"{total} faults fired, all invariants held")
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     documents = _load_documents(args.document)
     result = evaluate_query(args.expression, documents)
@@ -295,6 +339,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "the full constraint checks")
     explain.add_argument("document", nargs="+", help="XML document file")
     explain.set_defaults(handler=cmd_explain)
+
+    faultcheck = commands.add_parser(
+        "faultcheck",
+        help="run the crash-consistency fault-injection harness "
+             "(seeded workloads x fault schedules, invariant battery)")
+    faultcheck.add_argument(
+        "--seed", action="append", type=int,
+        help="harness seed (repeatable; default: 1 2 3)")
+    faultcheck.add_argument(
+        "--schedule", action="append",
+        help="schedule name or raw failpoint spec 'site=trigger;...' "
+             "(repeatable; default: every named schedule)")
+    faultcheck.add_argument(
+        "--ops", type=int, default=40,
+        help="workload steps per scenario (default: 40)")
+    faultcheck.add_argument(
+        "--repro-file",
+        help="on failure, write the reproduction command to this file")
+    faultcheck.add_argument(
+        "--list-sites", action="store_true",
+        help="print the failpoint site catalog and exit")
+    faultcheck.add_argument(
+        "--list-schedules", action="store_true",
+        help="print the named fault schedules and exit")
+    faultcheck.set_defaults(handler=cmd_faultcheck)
 
     query = commands.add_parser(
         "query", help="evaluate an XQuery expression over documents")

@@ -34,6 +34,7 @@ from repro.errors import (
     UpdateApplicationError,
 )
 from repro.relational.shredder import shred, subtree_facts
+from repro.testing.failpoints import fail
 from repro.xquery import planner
 from repro.xtree.node import Document, Element
 from repro.xupdate.analyze import signature_of
@@ -254,10 +255,19 @@ class IntegrityGuard(_CheckerBase):
                         log.commit()
                 # repair indexes only after the log has settled: a
                 # rejected update's rollback happens on context exit
-                if decision.applied:
-                    scope.note_applied(records)
-                else:
-                    scope.note_rejected()
+                try:
+                    fail.point("core.guard.batch.settle")
+                    if decision.applied:
+                        scope.note_applied(records)
+                    else:
+                        scope.note_rejected()
+                except Exception:
+                    # index repair is cache maintenance: a failure
+                    # mid-repair must not lose an update that already
+                    # committed, so the scope is abandoned (the rest
+                    # of the batch rebuilds indexes on miss) and the
+                    # batch carries on
+                    scope.abandon()
                 decisions.append(decision)
         return decisions
 
@@ -279,6 +289,7 @@ class IntegrityGuard(_CheckerBase):
                     log.rollback()
                 return step
             decision.optimized = decision.optimized and step.optimized
+            fail.point("core.guard.post_check")
             self._apply(log, operation)
         decision.applied = True
         return decision
@@ -325,6 +336,7 @@ class IntegrityGuard(_CheckerBase):
             violated.extend(probe)
         if violated:
             return UpdateDecision(False, violated, optimized=True)
+        fail.point("core.guard.post_check")
         for operation in operations:
             self._apply(log, operation)
         return UpdateDecision(True, optimized=True, applied=True)
@@ -335,6 +347,7 @@ class IntegrityGuard(_CheckerBase):
         with TransactionLog() as probe:
             for operation in operations:
                 self._apply(probe, operation)
+            fail.point("core.guard.probe.mid")
             return [name for name in self.verify_consistency()
                     if name in only]
 
@@ -395,6 +408,7 @@ class IntegrityGuard(_CheckerBase):
         """
         with TransactionLog() as probe:
             self._apply(probe, operation)
+            fail.point("core.guard.probe.mid")
             violated = [
                 name for name in self.verify_consistency()
                 if only is None or name in only

@@ -15,6 +15,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.testing.failpoints import fail
+
 
 class ReadWriteLock:
     """A writer-preferring reader–writer lock.
@@ -75,6 +77,7 @@ class ReadWriteLock:
     def read_locked(self) -> Iterator[None]:
         self.acquire_read()
         try:
+            fail.point("service.locks.post_read_acquire")
             yield
         finally:
             self.release_read()
@@ -83,6 +86,7 @@ class ReadWriteLock:
     def write_locked(self) -> Iterator[None]:
         self.acquire_write()
         try:
+            fail.point("service.locks.post_write_acquire")
             yield
         finally:
             self.release_write()

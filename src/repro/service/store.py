@@ -27,6 +27,7 @@ from repro.core.guard import IntegrityGuard, UpdateDecision, _CheckerBase
 from repro.core.schema import ConstraintSchema
 from repro.errors import IntegrityViolationError, SchemaError
 from repro.service.locks import ReadWriteLock
+from repro.testing.failpoints import fail
 from repro.xtree.node import Document
 from repro.xtree.serializer import serialize
 from repro.xupdate.parser import Operation
@@ -133,6 +134,7 @@ class CheckingService:
         with self.store.write_locked():
             decision = self.checker.try_execute(update)
             if decision.applied:
+                fail.point("service.store.pre_commit_append")
                 self._committed.append(CommittedUpdate(
                     len(self._committed), update, decision))
             return decision
@@ -159,6 +161,7 @@ class CheckingService:
             decisions = self.checker.check_batch(updates)
             for update, decision in zip(updates, decisions):
                 if decision.applied:
+                    fail.point("service.store.pre_commit_append")
                     self._committed.append(CommittedUpdate(
                         len(self._committed), update, decision))
             return decisions

@@ -1,0 +1,32 @@
+"""Fault-injection and crash-consistency testing infrastructure.
+
+Two layers:
+
+* :mod:`repro.testing.failpoints` — the deterministic failpoint
+  registry the production modules are instrumented with (import-light:
+  the instrumented hot paths pull in nothing but it);
+* :mod:`repro.testing.harness` — the crash-consistency scenario
+  harness driving seeded update workloads against a
+  :class:`~repro.service.CheckingService` under fault schedules, then
+  asserting the invariant battery (imported on demand — it pulls in
+  the whole service stack).
+
+Only the failpoint names are re-exported here so that importing
+``repro.testing`` from instrumented modules stays cycle-free.
+"""
+
+from repro.testing.failpoints import (
+    SITES,
+    FailPointError,
+    FailPointRegistry,
+    Trigger,
+    fail,
+)
+
+__all__ = [
+    "FailPointError",
+    "FailPointRegistry",
+    "SITES",
+    "Trigger",
+    "fail",
+]

@@ -62,6 +62,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from repro.errors import XQueryEvaluationError
+from repro.testing.failpoints import fail
 from repro.xquery import engine, functions
 from repro.xquery.ast import (
     AxisStep,
@@ -184,6 +185,7 @@ class Statistics:
 
     def __init__(self, documents: tuple[Document, ...],
                  priors: dict[str, float] | None = None) -> None:
+        fail.point("planner.stats.refresh")
         self.documents = tuple(documents)
         if priors is None:
             with _PRIORS_LOCK:
@@ -1475,6 +1477,7 @@ def _plan_truth(expression: Expression,
     truth_fn, infos = _compiled_for(expression, strategy, stats)
     entry = _PlanEntry(expression, documents, revisions, strategy,
                        truth_fn, infos)
+    fail.point("planner.plan_cache.insert")
     with _PLAN_LOCK:
         _PLAN_LRU[key] = entry
         _PLAN_LRU.move_to_end(key)
@@ -1806,6 +1809,7 @@ class BatchScope:
         dropped instead; rebuild-on-miss is the correct fallback.
         """
         self._drop_unsettled()
+        fail.point("planner.batch.repair")
         touched_documents: set[int] = set()
         for record in records:
             document = record.document
@@ -1847,6 +1851,19 @@ class BatchScope:
         for identity in stale:
             del self._entries[identity]
         self.dropped += len(stale)
+
+    def abandon(self) -> None:
+        """Drop every registered entry (a repair died mid-way).
+
+        A half-patched index re-filed under the post-update cache key
+        would serve wrong buckets; forgetting everything instead means
+        the next check simply misses the cache and rebuilds — always
+        correct, merely cold.  :meth:`~repro.core.guard.IntegrityGuard.
+        check_batch` calls this when settling an update fails.
+        """
+        self.dropped += len(self._entries)
+        self._entries.clear()
+        self._settled = self.mutations
 
     def _drop_for_document(self, document: Document) -> None:
         dropped = [identity for identity, entry in self._entries.items()
@@ -1916,6 +1933,7 @@ def note_batch_mutation() -> None:
     operation applies, deferred transaction applies and apply-check-
     rollback probes.  No-op outside a batch.
     """
+    fail.point("planner.batch.announce")
     scope = active_batch()
     if scope is not None:
         scope.note_mutation()

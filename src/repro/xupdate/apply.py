@@ -20,6 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import AmbiguousSelectError, UpdateApplicationError
+from repro.testing.failpoints import fail
 from repro.xquery.ast import Expression
 from repro.xquery.engine import evaluate_query
 from repro.xquery.parser import parse_query
@@ -93,8 +94,10 @@ class TransactionLog:
               operation: Operation) -> AppliedOperation:
         """Execute one operation and record its undo record."""
         self._require_open()
+        fail.point("xupdate.apply.pre_op")
         record = apply_operation(document, operation)
         self._records.append(record)
+        fail.point("xupdate.apply.post_op")
         return record
 
     def record(self, record: AppliedOperation) -> AppliedOperation:
@@ -119,17 +122,30 @@ class TransactionLog:
                 f"transaction already {self._state}")
 
     def _abort(self) -> None:
-        self._state = "rolled-back"
+        fail.point("xupdate.rollback.pre")
         for record in reversed(self._records):
             if not record.rolled_back:
                 record.rollback()
+        self._state = "rolled-back"
+        fail.point("xupdate.rollback.post")
 
     def __enter__(self) -> "TransactionLog":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._state == "open":
-            self._abort()
+            try:
+                self._abort()
+            except Exception:
+                # An abort interrupted mid-compensation (a transient
+                # fault) is retried once: each undo record rolls back
+                # at most once, so the retry resumes where the first
+                # attempt stopped instead of compensating twice.  A
+                # retry that fails too propagates — the state is then
+                # genuinely unrecoverable in-process.
+                if self._state == "open":
+                    self._abort()
+                raise
         return False
 
 

@@ -1,10 +1,26 @@
-"""Shared fixtures: the paper's running example, small documents."""
+"""Shared fixtures: the paper's running example, small documents.
+
+Also registers the hypothesis *settings profiles* used across the
+property-test suite.  ``HYPOTHESIS_PROFILE`` selects one:
+
+* ``dev`` (default) — 50 examples, quick local iteration;
+* ``ci`` — 100 examples, what the tier-1 CI job runs;
+* ``nightly`` — 500 examples, for scheduled deep runs.
+
+All profiles disable the per-example deadline: corpus-backed
+properties routinely blow the 200 ms default on shared runners.
+Individual tests only override ``max_examples`` when their generator
+is too expensive for even the dev budget (the planner and atomicity
+suites); everything else inherits the profile unmodified.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.datagen import (
     CorpusSpec,
@@ -14,6 +30,11 @@ from repro.datagen import (
 from repro.datagen.running_example import PUB_DTD, REV_DTD
 from repro.relational import RelationalSchema
 from repro.xtree import parse_document, parse_dtd
+
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.register_profile("nightly", max_examples=500, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

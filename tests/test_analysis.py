@@ -9,7 +9,7 @@ a schema that lints clean compiles and evaluates without error.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.analysis.diagnostic import (
     CODES,
@@ -318,7 +318,6 @@ def random_constraints(draw):
 
 class TestCleanLintImpliesEvaluates:
     @given(random_constraints())
-    @settings(max_examples=80, deadline=None)
     def test_clean_constraint_compiles_and_evaluates(self, text):
         report = lint_sources([PUB_DTD, REV_DTD], [text])
         if report.count_at_least(ERROR):

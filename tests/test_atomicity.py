@@ -134,7 +134,7 @@ class TestSeededFailures:
         assert counts  # something was rolled back...
         assert set(counts.values()) == {1}  # ...exactly once each
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(data=st.data())
     def test_any_failure_position_restores_state(self, schema, data):
         """Property: wherever the failure lands in a multi-operation

@@ -165,6 +165,8 @@ class TestCheckingService:
         assert service.verify_consistency() == []
 
 
+@pytest.mark.stress
+@pytest.mark.slow
 class TestStressHarness:
     def test_mixed_workload_matches_sequential_oracle(self, schema):
         service = CheckingService(schema, fresh_documents())

@@ -258,7 +258,7 @@ class TestEndToEnd:
 class TestTheoremOneWithNegation:
     """Randomized soundness: pre-check ⟺ apply-then-check."""
 
-    from hypothesis import given, settings, strategies as st
+    from hypothesis import given, strategies as st
 
     GAMMA = [Denial((
         Atom("sub", (V("Is"), V("_1"), V("_2"), V("T"))),
@@ -274,7 +274,6 @@ class TestTheoremOneWithNegation:
     @given(st.lists(st.sampled_from(["A", "B", "C"]), max_size=4),
            st.lists(st.sampled_from(["A", "B", "C"]), max_size=4),
            st.sampled_from(["A", "B", "C", "Z"]))
-    @settings(max_examples=150, deadline=None)
     def test_agrees_with_post_check(self, sub_titles, pub_titles,
                                     new_title):
         from hypothesis import assume
@@ -307,7 +306,6 @@ class TestTheoremOneWithNegation:
 
     @given(st.lists(st.sampled_from(["A", "B"]), max_size=3),
            st.sampled_from(["A", "B", "Z"]))
-    @settings(max_examples=100, deadline=None)
     def test_pub_insertion_never_violates(self, sub_titles, new_title):
         from hypothesis import assume
         db = FactDatabase()

@@ -121,7 +121,7 @@ class TestDifferentialQueries:
             == query_truth(expression, documents)
 
     @given(random_corpora())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_hypothesis_corpora_agree(self, corpus):
         documents = list(corpus)
         for query in QUERIES:
@@ -130,7 +130,7 @@ class TestDifferentialQueries:
                 == query_truth(expression, documents), query
 
     @given(random_corpora())
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_full_constraint_checks_agree(self, corpus):
         documents = list(corpus)
         for constraint in SCHEMA.constraints:
@@ -211,7 +211,7 @@ class TestDifferentialUpdates:
             == [serialize(d) for d in sequential_docs]
 
     @given(st.integers(0, 10_000))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_check_batch_matches_sequential_random(self, seed):
         batch_docs = _fresh_documents()
         batched = IntegrityGuard(SCHEMA, batch_docs).check_batch(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import re
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.xtree.dtd import (
     ChoiceParticle,
@@ -61,7 +61,6 @@ def to_regex(model: ContentModel) -> str:
 
 class TestNFAAgainstRegexOracle:
     @given(models(2), st.lists(st.sampled_from(TAGS), max_size=6))
-    @settings(max_examples=400, deadline=None)
     def test_agreement(self, model, children):
         nfa = _compile_nfa(model)
         pattern = re.compile(to_regex(model) + r"\Z")
@@ -69,7 +68,6 @@ class TestNFAAgainstRegexOracle:
         assert nfa.matches(children) is expected
 
     @given(models(2))
-    @settings(max_examples=100, deadline=None)
     def test_optional_star_accept_empty(self, model):
         nfa = _compile_nfa(model)
         pattern = re.compile(to_regex(model) + r"\Z")

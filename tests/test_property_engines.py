@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core import DatalogChecker
 from repro.datagen import CorpusSpec, generate_corpus
@@ -65,7 +65,6 @@ def random_corpora(draw):
 
 class TestFullConstraintAgreement:
     @given(random_corpora())
-    @settings(max_examples=60, deadline=None)
     def test_engines_agree_per_constraint(self, corpus):
         pub_doc, rev_doc = corpus
         documents = [pub_doc, rev_doc]
@@ -82,7 +81,6 @@ class TestFullConstraintAgreement:
 class TestOptimizedCheckAgreement:
     @given(random_corpora(), st.sampled_from(["Ann", "Bob", "Zoe"]),
            st.integers(0, 7))
-    @settings(max_examples=60, deadline=None)
     def test_simplified_checks_agree(self, corpus, author, pick):
         pub_doc, rev_doc = corpus
         documents = [pub_doc, rev_doc]

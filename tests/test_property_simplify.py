@@ -10,7 +10,7 @@ path, so the two halves of the system cross-validate.
 from __future__ import annotations
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import assume, given, strategies as st
 
 from repro.datalog import (
     Aggregate,
@@ -120,7 +120,6 @@ def _state_consistent(db):
 
 class TestTheoremOne:
     @given(review_states(), st.sampled_from(NAMES + ["Zoe"]))
-    @settings(max_examples=120, deadline=None)
     def test_simp_agrees_with_post_check(self, state, author):
         db, max_id = state
         assume(_state_consistent(db))
@@ -149,7 +148,6 @@ class TestTheoremOne:
         assert optimized_ok == ground_truth_ok
 
     @given(review_states())
-    @settings(max_examples=60, deadline=None)
     def test_delta_holds_for_fresh_ids(self, state):
         db, max_id = state
         values = {"is": max_id + 1, "ia": max_id + 2}

@@ -2,7 +2,7 @@
 
 import string
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.xtree import parse_document, serialize
 from repro.xtree.node import Document, Element, Text
@@ -44,14 +44,12 @@ documents = _elements(3).map(Document)
 
 class TestRoundTrip:
     @given(documents)
-    @settings(max_examples=200, deadline=None)
     def test_serialize_parse_preserves_structure(self, document):
         reparsed = parse_document(serialize(document),
                                   keep_whitespace=True)
         assert _shape(reparsed.root) == _shape(document.root)
 
     @given(documents)
-    @settings(max_examples=100, deadline=None)
     def test_serialization_is_stable(self, document):
         once = serialize(document)
         again = serialize(parse_document(once, keep_whitespace=True))
@@ -76,7 +74,6 @@ def _shape(node):
 
 class TestIdentityInvariants:
     @given(documents)
-    @settings(max_examples=100, deadline=None)
     def test_ids_unique_and_preorder(self, document):
         ids = [element.node_id
                for element in document.root.iter_elements()]
@@ -84,7 +81,6 @@ class TestIdentityInvariants:
         assert ids == sorted(ids)
 
     @given(documents)
-    @settings(max_examples=100, deadline=None)
     def test_positions_consistent_with_children(self, document):
         for element in document.root.iter_elements():
             children = element.element_children()
@@ -92,7 +88,6 @@ class TestIdentityInvariants:
                 assert child.child_position == expected
 
     @given(documents)
-    @settings(max_examples=100, deadline=None)
     def test_location_paths_unique(self, document):
         paths = [element.location_path()
                  for element in document.root.iter_elements()]
