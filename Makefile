@@ -2,7 +2,8 @@ PYTHON ?= python3
 BENCH_SIZES ?= 32,64,128
 
 .PHONY: install test bench bench-smoke bench-planner \
-	bench-planner-smoke examples lint stress faultcheck clean
+	bench-planner-smoke bench-columnar bench-columnar-smoke \
+	examples lint stress faultcheck clean
 
 # fault-injection matrix: seeds x named schedules, each run asserting
 # the crash-consistency invariant battery (see docs/testing.md)
@@ -47,6 +48,27 @@ bench-planner-smoke:
 		--benchmark-json=BENCH_planner_smoke.json
 	$(PYTHON) scripts/check_planner_gate.py BENCH_planner_smoke.json \
 		--baseline BENCH_planner.json
+
+# columnar backend ablation (vectorized plan steps vs the same plan
+# walking the DOM, batched updates with/without column stores) across
+# all sizes; emits BENCH_columnar.json and gates on the >=2x
+# acceptance floors at the largest size
+bench-columnar:
+	REPRO_BENCH_SIZES_KIB=$(BENCH_SIZES) \
+		$(PYTHON) -m pytest benchmarks/test_columnar_ablation.py \
+		--benchmark-only --benchmark-min-rounds=3 \
+		--benchmark-json=BENCH_columnar.json
+	$(PYTHON) scripts/check_columnar_gate.py BENCH_columnar.json
+
+# one-round CI smoke at the smallest size, gated against the committed
+# BENCH_columnar.json baseline ratios (>20% regression fails)
+bench-columnar-smoke:
+	REPRO_BENCH_SIZES_KIB=32 \
+		$(PYTHON) -m pytest benchmarks/test_columnar_ablation.py \
+		--benchmark-only --benchmark-min-rounds=1 \
+		--benchmark-json=BENCH_columnar_smoke.json
+	$(PYTHON) scripts/check_columnar_gate.py BENCH_columnar_smoke.json \
+		--baseline BENCH_columnar.json
 
 # static tooling (pip install -e .[lint]); constraint linting of the
 # examples corpus runs with no extra dependencies

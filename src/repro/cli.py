@@ -242,10 +242,12 @@ def cmd_explain(args: argparse.Namespace) -> int:
     schema = _build_schema(args)
     documents = _load_documents(args.document)
     install_priors(schema.cardinality_priors())
+    # constructing the guard attaches the column stores, so explain
+    # reports the backend (columnar / planned-DOM) each check would use
+    guard = IntegrityGuard(schema, documents)
     if args.update:
         from repro.xupdate.parser import parse_modifications
 
-        guard = IntegrityGuard(schema, documents)
         for operation in parse_modifications(_read(args.update)):
             checks = guard._checks_for(operation)
             if checks is None:

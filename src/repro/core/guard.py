@@ -18,6 +18,8 @@ Three checkers share one interface (``try_execute`` / ``execute``):
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.schema import ConstraintSchema, PatternChecks
@@ -33,6 +35,7 @@ from repro.errors import (
     SimplificationError,
     UpdateApplicationError,
 )
+from repro.relational import incremental
 from repro.relational.shredder import shred, subtree_facts
 from repro.testing.failpoints import fail
 from repro.xquery import planner
@@ -45,6 +48,30 @@ from repro.xupdate.parser import (
     RemoveOperation,
     parse_modifications,
 )
+
+
+#: parsed-update cache: workloads resubmit structurally identical
+#: update documents (benchmark batches, retry loops), and parsing is a
+#: fixed per-submission cost.  Caching is safe because operations are
+#: frozen dataclasses and the apply path deep-copies inserted content.
+_UPDATE_CACHE: "OrderedDict[str, list[Operation]]" = OrderedDict()
+_UPDATE_CACHE_LOCK = threading.Lock()
+_UPDATE_CACHE_CAPACITY = 256
+
+
+def _parse_update_cached(update: str) -> list[Operation]:
+    with _UPDATE_CACHE_LOCK:
+        operations = _UPDATE_CACHE.get(update)
+        if operations is not None:
+            _UPDATE_CACHE.move_to_end(update)
+            return list(operations)
+    operations = parse_modifications(update)
+    with _UPDATE_CACHE_LOCK:
+        _UPDATE_CACHE[update] = operations
+        _UPDATE_CACHE.move_to_end(update)
+        while len(_UPDATE_CACHE) > _UPDATE_CACHE_CAPACITY:
+            _UPDATE_CACHE.popitem(last=False)
+    return list(operations)
 
 
 @dataclass
@@ -80,6 +107,10 @@ class _CheckerBase:
         # seed the check planner's cold-document estimates with the
         # schema's DTD cardinality bounds
         planner.install_priors(schema.cardinality_priors())
+        # attach incrementally-maintained column stores so planned
+        # checks can lower to the columnar backend
+        for document in self.documents:
+            incremental.attach(document, schema.relational)
 
     def subscribe(self, listener) -> None:
         """Register ``listener(update, decision)``, called after every
@@ -175,7 +206,7 @@ class _CheckerBase:
     @staticmethod
     def _operations(update: "str | Operation") -> list[Operation]:
         if isinstance(update, str):
-            return parse_modifications(update)
+            return _parse_update_cached(update)
         return [update]
 
 
@@ -261,6 +292,11 @@ class IntegrityGuard(_CheckerBase):
                         scope.note_applied(records)
                     else:
                         scope.note_rejected()
+                    # settle the columnar mirrors at the same cadence
+                    # as the hash-join index repair: a store left dirty
+                    # by a crashed delta rebuilds here instead of on
+                    # the next check's critical path
+                    incremental.settle_batch(self.documents)
                 except Exception:
                     # index repair is cache maintenance: a failure
                     # mid-repair must not lose an update that already

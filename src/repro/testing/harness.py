@@ -90,6 +90,10 @@ SCHEDULES: dict[str, str] = {
     "batch": ("planner.batch.announce=count:2;"
               "planner.batch.repair=count:1;"
               "core.guard.batch.settle=count:1"),
+    "columnar": ("columns.delta.apply=count:2;"
+                 "columns.delta.settle=count:5;"
+                 "columns.rebuild=count:1;"
+                 "columns.batch.settle=count:1"),
     "chaos": ("xupdate.apply.pre_op=prob:0.05:11;"
               "xupdate.apply.post_op=prob:0.05:12;"
               "xupdate.rollback.pre=prob:0.03:13;"
@@ -102,7 +106,11 @@ SCHEDULES: dict[str, str] = {
               "planner.stats.refresh=prob:0.03:20;"
               "planner.plan_cache.insert=prob:0.03:21;"
               "planner.batch.announce=prob:0.03:22;"
-              "planner.batch.repair=prob:0.03:23"),
+              "planner.batch.repair=prob:0.03:23;"
+              "columns.delta.apply=prob:0.03:24;"
+              "columns.delta.settle=prob:0.03:25;"
+              "columns.rebuild=prob:0.03:26;"
+              "columns.batch.settle=prob:0.03:27"),
 }
 
 #: Corpus knobs for the harness: small enough that a full run with
@@ -364,6 +372,28 @@ def _check_tag_indexes(documents: list[Document],
                     f"<{document.root.tag}>")
 
 
+def _check_column_stores(documents: list[Document],
+                         report: FaultRunReport) -> None:
+    """Each column store must equal a cold rebuild over the final DOM.
+
+    The delta-maintenance protocol self-heals after injected crashes
+    (write-ahead invalidation, rebuild on next read), so after the
+    workload — whatever faults fired — tables must match a cold
+    re-shred and value indexes a from-scratch build.
+    """
+    from repro.relational.incremental import store_of
+    for document in documents:
+        store = store_of(document)
+        if store is None:
+            continue
+        for problem in store.verify():
+            raise _violation(
+                report, "columns-cold-rebuild",
+                f"<{document.root.tag}> column store: {problem} "
+                f"(delta_failures={store.delta_failures}, "
+                f"rebuilds={store.rebuilds})")
+
+
 def _run_oracle(seed: int, observed: list[tuple[str, bool]],
                 report: FaultRunReport) -> tuple[Document, Document]:
     """Replay the observed verdict sequence on a fresh corpus.
@@ -502,6 +532,7 @@ def run_scenario(seed: int, schedule: "str | dict" = "chaos",
             f"the accepted updates ({len(accepted_texts)} accepted)")
 
     _check_tag_indexes(service.store.documents, report)
+    _check_column_stores(service.store.documents, report)
 
     # the guard's full check runs through the planner's statistics and
     # plan caches; a cache poisoned by a mid-fault must not change the

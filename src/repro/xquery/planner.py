@@ -106,12 +106,14 @@ from repro.xtree.node import Document, Element, Node, Text
 __all__ = [
     "Statistics",
     "batch_scope",
+    "columnar_enabled",
     "enabled",
     "explain_query",
     "install_priors",
     "note_batch_mutation",
     "query_truth_planned",
     "unplanned",
+    "without_columns",
 ]
 
 
@@ -144,6 +146,33 @@ def unplanned():
         yield
     finally:
         _STATE.enabled = previous
+
+
+def columnar_enabled() -> bool:
+    """Whether columnar (vectorized) evaluation is active on this
+    thread.  Orthogonal to :func:`enabled`: planned evaluation can run
+    with the columnar backend ablated (:func:`without_columns`), and
+    :func:`unplanned` disables both."""
+    return getattr(_STATE, "columnar", True)
+
+
+def set_columnar(flag: bool) -> None:
+    _STATE.columnar = bool(flag)
+
+
+@contextmanager
+def without_columns():
+    """Temporarily ablate the columnar backend (keep planned DOM).
+
+    The second ablation switch: benchmarks compare columnar against
+    planned-DOM evaluation with plans, caches and corpus held equal.
+    """
+    previous = columnar_enabled()
+    _STATE.columnar = False
+    try:
+        yield
+    finally:
+        _STATE.columnar = previous
 
 
 #: tag → expected element count from DTD cardinality bounds; consulted
@@ -469,7 +498,7 @@ class _Runtime:
     """
 
     __slots__ = ("documents", "env", "item", "position", "size",
-                 "profile", "cache")
+                 "profile", "cache", "backends")
 
     def __init__(self, documents: tuple[Document, ...],
                  env: dict[str, Sequence]) -> None:
@@ -481,6 +510,9 @@ class _Runtime:
         #: (quantifier, binding) key → [items examined, tuples passed];
         #: populated by :func:`explain_query` runs only
         self.profile: dict[tuple, list[int]] | None = None
+        #: (quantifier index, backend, reason) records; populated when
+        #: :func:`explain_query` sets it to a list
+        self.backends: list[tuple[int, str, str | None]] | None = None
         #: per-evaluation memo (hash-join/probe indexes): documents
         #: cannot change mid-check, so one lookup per plan node is
         #: enough — the revision-keyed cache is consulted only once
@@ -957,8 +989,11 @@ def _compile_step(step: AxisStep, descendant: bool,
                 return generic(rt, items)
             index_map = rt.cache.get(memo_token)
             if index_map is None:
-                index_map = _predicate_index(tag, downpath, deps,
-                                             documents, rt)
+                index_map = _columnar_probe_map(tag, downpath,
+                                                documents)
+                if index_map is None:
+                    index_map = _predicate_index(tag, downpath, deps,
+                                                 documents, rt)
                 rt.cache[memo_token] = index_map
             matched: Sequence = []
             seen: set[int] = set()
@@ -1148,6 +1183,58 @@ def _tag_state(documents: "list[Document] | tuple[Document, ...]",
         for document in documents)
 
 
+class _MergedIndex:
+    """Dict-shaped facade over per-document column-store value indexes.
+
+    Serves the planner's probe steps and hash joins with the same
+    ``.get(key) → elements`` contract as a built index map, but backed
+    by the stores' hook-maintained
+    :class:`~repro.relational.columns.PathIndex` buckets — always
+    current, never rebuilt per check, never registered for batch
+    repair.
+    """
+
+    __slots__ = ("indexes",)
+
+    def __init__(self, indexes: list) -> None:
+        self.indexes = indexes
+
+    def get(self, key: tuple, default: Sequence = ()) -> Sequence:
+        found: list | None = None
+        for index in self.indexes:
+            bucket = index.buckets.get(key)
+            if bucket:
+                if found is None:
+                    found = list(bucket.values())
+                else:
+                    found.extend(bucket.values())
+        return default if found is None else found
+
+
+def _columnar_probe_map(
+        tag: str, downpath: tuple[tuple[str, str], ...],
+        documents: "list[Document] | tuple[Document, ...]"
+) -> "_MergedIndex | None":
+    """A store-served index for ``//tag`` keyed by ``downpath``.
+
+    ``None`` when the columnar backend is ablated, any document lacks
+    a store, or a store cannot serve (e.g. a crashed rebuild) — the
+    caller then builds the index the pre-columnar way.
+    """
+    if not columnar_enabled():
+        return None
+    indexes = []
+    for document in documents:
+        store = document.column_store
+        if store is None:
+            return None
+        try:
+            indexes.append(store.value_index(tag, downpath))
+        except Exception:
+            return None
+    return _MergedIndex(indexes)
+
+
 def _predicate_index(tag: str, downpath: tuple[tuple[str, str], ...],
                      deps: tuple[str, ...],
                      documents: list[Document],
@@ -1219,7 +1306,7 @@ class _ScanStep:
 
 class _HashJoinStep:
     __slots__ = ("name", "source", "new_side", "bound_fn", "checks",
-                 "key")
+                 "key", "columnar_spec")
 
     def __init__(self, name: str, source: Expression,
                  new_side: Expression, bound_fn: Closure,
@@ -1230,12 +1317,25 @@ class _HashJoinStep:
         self.bound_fn = bound_fn
         self.checks = checks
         self.key = key
+        # ``//tag`` source keyed by a downpath of the bound variable:
+        # the shape a column-store value index can serve directly
+        tag = _simple_descendant_tag(source)
+        steps = _var_downpath(new_side, name) if tag is not None \
+            else None
+        self.columnar_spec = (tag, steps) \
+            if tag is not None and steps is not None else None
 
     def items(self, rt: _Runtime) -> Iterator:
         index_map = rt.cache.get(id(self))
         if index_map is None:
-            index_map = engine._hash_index(self.name, self.source,
-                                           self.new_side, rt.context())
+            if self.columnar_spec is not None:
+                index_map = _columnar_probe_map(
+                    self.columnar_spec[0], self.columnar_spec[1],
+                    rt.documents)
+            if index_map is None:
+                index_map = engine._hash_index(
+                    self.name, self.source, self.new_side,
+                    rt.context())
             rt.cache[id(self)] = index_map
         seen: set[int] = set()
         for key in probe_keys(self.bound_fn(rt)):
@@ -1243,6 +1343,13 @@ class _HashJoinStep:
                 if id(item) not in seen:
                     seen.add(id(item))
                     yield item
+
+
+def _note_backend(rt: _Runtime, index: int, backend: str,
+                  reason: str | None) -> None:
+    """Record which backend evaluated a quantifier (explain runs)."""
+    if rt.backends is not None:
+        rt.backends.append((index, backend, reason))
 
 
 def _compile_quantified_truth(quantified: Quantified,
@@ -1277,6 +1384,7 @@ def _compile_some(quantified: Quantified, pl: _Plan) -> TruthClosure:
 
     anchors: dict[str, str] = {}
     steps: list = []
+    lowspec: list[tuple] = []
     for index, (name, source) in enumerate(bindings):
         estimate, anchor = _estimate_any(source, pl.stats, anchors)
         if anchor is not None:
@@ -1311,15 +1419,47 @@ def _compile_some(quantified: Quantified, pl: _Plan) -> TruthClosure:
                              key)
             kind = "correlated scan" if correlated else "scan"
         steps.append(step)
+        lowspec.append((name, source, slots[index], equality,
+                        correlated))
         info.bindings.append(_BindingInfo(
             name, source, kind, estimate, order[index], key))
     pre_checks = [_compile_truth(factor, pl) for factor in pre_factors]
     depth = len(steps)
 
+    # Lower the same binding order to a vectorized frontier plan; any
+    # construct outside the columnar fragment refuses the whole
+    # quantifier and the tuple-at-a-time search below stays in charge.
+    try:
+        from repro.xquery import columnar as _columnar_module
+        vector_plan, vector_reason = _columnar_module.lower_some(
+            lowspec, name_set, info.index, pl)
+    except Exception as error:  # lowering must never break compiling
+        _columnar_module = None  # type: ignore[assignment]
+        vector_plan, vector_reason = None, f"lowering failed: {error}"
+    quantifier_index = info.index
+
     def truth(rt: _Runtime) -> bool:
         for check in pre_checks:
             if not check(rt):
                 return False
+        if vector_plan is not None:
+            not_ready = vector_plan.ready(rt)
+            if not_ready is None:
+                try:
+                    verdict = vector_plan.run(rt)
+                except _columnar_module.Bail as bail:
+                    _note_backend(rt, quantifier_index, "planned-DOM",
+                                  f"bailed: {bail}")
+                else:
+                    _note_backend(rt, quantifier_index, "columnar",
+                                  None)
+                    return verdict
+            else:
+                _note_backend(rt, quantifier_index, "planned-DOM",
+                              not_ready)
+        else:
+            _note_backend(rt, quantifier_index, "planned-DOM",
+                          vector_reason or "not lowered")
         env = rt.env
         profile = rt.profile
 
@@ -1552,11 +1692,39 @@ def explain_query(
     truth_fn = _compile_truth(query, pl)
     rt = _Runtime(docs, dict(variables) if variables else {})
     rt.profile = {}
-    verdict = truth_fn(rt)
+    rt.backends = []
+    fallback_reason: str | None = None
+    try:
+        verdict = truth_fn(rt)
+    except XQueryEvaluationError as error:
+        from repro.xquery.engine import query_truth
+        verdict = query_truth(query, list(docs), variables)
+        fallback_reason = str(error)
     lines: list[str] = []
+    column_bits: list[str] = []
+    for document in docs:
+        store = document.column_store
+        tables = getattr(store, "_tables", None) if store is not None \
+            else None
+        if tables:
+            column_bits.extend(
+                f"{document.root.tag}/{tag}={len(tables[tag])}"
+                for tag in sorted(tables))
+    if column_bits:
+        lines.append("columns: " + "  ".join(column_bits))
     for info in pl.infos:
         lines.append(f"{info.kind} quantifier "
                      f"#{info.index + 1}: {render(info.expression)}")
+        backend: tuple[str, str | None] | None = None
+        for noted_index, noted_backend, noted_reason in rt.backends:
+            if noted_index == info.index:
+                backend = (noted_backend, noted_reason)
+        if backend is None:
+            lines.append("  backend: not evaluated")
+        elif backend[1] is None:
+            lines.append(f"  backend: {backend[0]}")
+        else:
+            lines.append(f"  backend: {backend[0]} ({backend[1]})")
         for rank, binding in enumerate(info.bindings, start=1):
             counters = rt.profile.get(binding.key, [0, 0])
             moved = "" if binding.original_index == rank - 1 \
@@ -1567,6 +1735,9 @@ def explain_query(
                 f"  est~{binding.estimate:g}"
                 f"  examined={counters[0]}  passed={counters[1]}"
                 f"{moved}")
+    if fallback_reason is not None:
+        lines.append(
+            f"backend: unplanned fallback ({fallback_reason})")
     lines.append(f"verdict: {'true' if verdict else 'false'}")
     return "\n".join(lines)
 

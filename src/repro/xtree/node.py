@@ -179,7 +179,7 @@ class Element(Node):
         del self.children[index]
         child.parent = None
         if self.document is not None:
-            self.document.orphan(child)
+            self.document.orphan(child, parent=self)
         return child
 
     def _child_index(self, child: Node) -> int:
@@ -256,7 +256,8 @@ class Document:
 
     __slots__ = ("root", "_next_id", "_nodes_by_id", "revision",
                  "_elements_by_tag", "_tag_revisions", "_tag_order_cache",
-                 "_tag_stats_cache", "_lock", "__weakref__")
+                 "_tag_stats_cache", "_lock", "_mutation_listeners",
+                 "column_store", "__weakref__")
 
     def __init__(self, root: Element) -> None:
         if root.parent is not None:
@@ -284,6 +285,17 @@ class Document:
         #: tag → (tag revision, distinct direct-text value count); the
         #: planner's per-tag statistics, recomputed lazily per revision
         self._tag_stats_cache: dict[str, tuple[int, int]] = {}
+        #: callables ``(kind, node, parent)`` invoked (under the lock,
+        #: after index bookkeeping) for every adopt/orphan.  Listeners
+        #: must never raise: they run inside structural mutation, where
+        #: an escaping error would tear the mutation itself.  The
+        #: column store's listener swallows its own failures and falls
+        #: back to a cold rebuild instead.
+        self._mutation_listeners: list = []
+        #: the attached :class:`repro.relational.incremental.ColumnStore`
+        #: (or ``None``); a plain slot so the query planner can test for
+        #: columnar serviceability without importing the relational layer
+        self.column_store = None
         root.document = None  # adopt() sets it
         self.adopt(root)
 
@@ -311,16 +323,27 @@ class Document:
             elif isinstance(current, Text) and current.parent is not None:
                 # a text change is a change to its parent's node type
                 self._bump_tag(current.parent.tag)
+        for listener in self._mutation_listeners:
+            listener("adopt", node, node.parent)
 
-    def orphan(self, node: Node) -> None:
-        """Unregister ``node`` and its subtree from the id index."""
+    def orphan(self, node: Node, parent: "Element | None" = None) -> None:
+        """Unregister ``node`` and its subtree from the id index.
+
+        ``parent`` is the element the node was detached from; callers
+        that null ``node.parent`` before orphaning (``Element.remove``)
+        pass it so tag-revision bookkeeping and mutation listeners can
+        still see where the change happened.
+        """
         with self._lock:
-            self._orphan_locked(node)
+            self._orphan_locked(node, parent)
 
-    def _orphan_locked(self, node: Node) -> None:
+    def _orphan_locked(self, node: Node,
+                       parent: "Element | None" = None) -> None:
         self.revision += 1
-        if isinstance(node, Text) and node.parent is not None:
-            self._bump_tag(node.parent.tag)
+        if parent is None:
+            parent = node.parent
+        if isinstance(node, Text) and parent is not None:
+            self._bump_tag(parent.tag)
         stack = [node]
         while stack:
             current = stack.pop()
@@ -334,6 +357,8 @@ class Document:
                     self._bump_tag(current.tag)
             if isinstance(current, Element):
                 stack.extend(reversed(current.children))
+        for listener in self._mutation_listeners:
+            listener("orphan", node, parent)
 
     # -- element-by-tag index ------------------------------------------------
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.errors import AmbiguousSelectError, UpdateApplicationError
 from repro.testing.failpoints import fail
-from repro.xquery.ast import Expression
+from repro.xquery.ast import Expression, Literal, PathExpr
 from repro.xquery.engine import evaluate_query
 from repro.xquery.parser import parse_query
 from repro.xtree.node import Document, Element, Node
@@ -174,6 +174,70 @@ def parsed_select(select: str) -> Expression:
     return expression
 
 
+def _positional(items: list[Element],
+                predicates: tuple) -> list[Element]:
+    for predicate in predicates:
+        index = predicate.value
+        items = [items[index - 1]] if 1 <= index <= len(items) else []
+    return items
+
+
+def _columnar_resolve(document: Document,
+                      expression: Expression) -> "list[Element] | None":
+    """Resolve a simple select through the document's column store.
+
+    Covers the dominant select shape — an absolute child-step path
+    with integer positional predicates (``/review/track[2]/rev[5]``) —
+    by walking the store's per-tag child groups and ``Pos`` columns
+    instead of the generic engine.  Returns ``None`` (engine fallback)
+    for anything outside that fragment, when no store is attached, or
+    when the columnar backend is disabled.
+    """
+    from repro.xquery import planner as _planner
+    if not _planner.columnar_enabled():
+        return None
+    store = document.column_store
+    if store is None:
+        return None
+    if not isinstance(expression, PathExpr) or expression.start is not None \
+            or any(expression.descendant_flags) or not expression.steps:
+        return None
+    for step in expression.steps:
+        if step.axis != "child" or step.nodetest in (
+                "*", "text()", "node()", "position()"):
+            return None
+        for predicate in step.predicates:
+            if not (isinstance(predicate, Literal)
+                    and isinstance(predicate.value, int)
+                    and not isinstance(predicate.value, bool)):
+                return None
+    first = expression.steps[0]
+    root = document.root
+    current = [root] if root.tag == first.nodetest else []
+    current = _positional(current, first.predicates)
+    try:
+        for step in expression.steps[1:]:
+            if not current:
+                break
+            table = store.table(step.nodetest)
+            groups = table.children_groups()
+            row_of = table.row_of
+            pos = table.pos
+            gathered: list[Element] = []
+            for element in current:
+                kids = groups.get(element.node_id or -1)
+                if not kids:
+                    continue
+                if len(kids) > 1:
+                    kids = sorted(
+                        kids, key=lambda kid: pos[row_of[kid.node_id]])
+                gathered.extend(_positional(list(kids), step.predicates))
+            current = gathered
+    except Exception:
+        return None  # degrade to the engine on any store trouble
+    return current
+
+
 def resolve_select(document: Document, select: str) -> Element:
     """Resolve a select path to a single element of the document.
 
@@ -181,8 +245,12 @@ def resolve_select(document: Document, select: str) -> Element:
     mutating only the first match would make the applied update depend
     on document order the caller never sees.
     """
-    result = evaluate_query(parsed_select(select), document)
-    elements = [item for item in result if isinstance(item, Element)]
+    expression = parsed_select(select)
+    elements = _columnar_resolve(document, expression)
+    if elements is None:
+        result = evaluate_query(expression, document)
+        elements = [item for item in result
+                    if isinstance(item, Element)]
     if not elements:
         raise UpdateApplicationError(
             f"select {select!r} matches no element")

@@ -1,0 +1,244 @@
+"""Columnar evaluation backend: verdict differentials and explain.
+
+The contract mirrors the planner suite's: the columnar backend may
+only change how fast a verdict arrives, never the verdict.  Every
+test pins the three-way equality
+
+    columnar  ==  planned-DOM (``without_columns``)  ==  unplanned
+
+over the fixed query corpus, generated corpora, hypothesis-random
+documents, and update workloads — with and without numpy
+(``stdlib_only``).  Explain output must name the backend each
+quantifier actually used, and the XUpdate select fast path must
+resolve exactly the elements the engine resolves.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.guard import IntegrityGuard
+from repro.datagen.running_example import make_schema, submission_xupdate
+from repro.datagen.workload import legal_submission
+from repro.errors import UpdateApplicationError
+from repro.relational.columns import stdlib_only
+from repro.relational.incremental import attach, store_of
+from repro.xquery import parse_query
+from repro.xquery.engine import evaluate_query, query_truth
+from repro.xquery.planner import (
+    explain_query,
+    query_truth_planned,
+    without_columns,
+)
+from repro.xtree.serializer import serialize
+from repro.xupdate.apply import (
+    _columnar_resolve,
+    parsed_select,
+    resolve_select,
+)
+from tests.test_planner import QUERIES, random_corpora
+
+SCHEMA = make_schema()
+
+CONFLICT_QUERY = QUERIES[0]
+
+
+def _attach_all(documents):
+    for document in documents:
+        attach(document, SCHEMA.relational)
+    return documents
+
+
+def _three_way(query, documents):
+    """(columnar, planned-DOM, unplanned) verdict triple."""
+    expression = parse_query(query) if isinstance(query, str) else query
+    columnar = query_truth_planned(expression, documents)
+    with without_columns():
+        planned = query_truth_planned(expression, documents)
+    unplanned = query_truth(expression, documents)
+    return columnar, planned, unplanned
+
+
+class TestVerdictDifferential:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fixed_queries_agree(self, query, documents):
+        columnar, planned, unplanned = _three_way(
+            query, _attach_all(documents))
+        assert columnar == planned == unplanned
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_generated_corpus_agrees(self, query, small_corpus):
+        documents = _attach_all(list(small_corpus))
+        columnar, planned, unplanned = _three_way(query, documents)
+        assert columnar == planned == unplanned
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fixed_queries_agree_without_numpy(self, query, documents):
+        with stdlib_only():
+            columnar, planned, unplanned = _three_way(
+                query, _attach_all(documents))
+        assert columnar == planned == unplanned
+
+    @given(random_corpora())
+    @settings(max_examples=30)
+    def test_hypothesis_corpora_agree(self, corpus):
+        documents = _attach_all(list(corpus))
+        for query in QUERIES:
+            columnar, planned, unplanned = _three_way(query, documents)
+            assert columnar == planned == unplanned, query
+
+    @given(random_corpora())
+    @settings(max_examples=15)
+    def test_full_constraint_checks_agree(self, corpus):
+        documents = _attach_all(list(corpus))
+        for constraint in SCHEMA.constraints:
+            for query in constraint.full_queries:
+                columnar, planned, unplanned = _three_way(
+                    query.prepared, documents)
+                assert columnar == planned == unplanned, \
+                    constraint.name
+
+
+class TestUpdateWorkloadDifferential:
+    """Two guards over twin corpora — one columnar, one ablated —
+    must produce identical decisions and identical final documents."""
+
+    def _run(self, small_corpus_factory, updates):
+        def guard_over(ablated):
+            pub, rev = small_corpus_factory()
+            guard = IntegrityGuard(SCHEMA, [pub, rev])
+            decisions = []
+            for update in updates:
+                if ablated:
+                    with without_columns():
+                        decisions.append(guard.try_execute(update))
+                else:
+                    decisions.append(guard.try_execute(update))
+            return guard, decisions
+
+        columnar_guard, columnar_decisions = guard_over(False)
+        ablated_guard, ablated_decisions = guard_over(True)
+        assert [(d.legal, d.applied) for d in columnar_decisions] \
+            == [(d.legal, d.applied) for d in ablated_decisions]
+        for left, right in zip(columnar_guard.documents,
+                               ablated_guard.documents):
+            assert serialize(left) == serialize(right)
+        for document in columnar_guard.documents:
+            store = store_of(document)
+            assert store is not None
+            assert store.verify() == []
+        return columnar_decisions
+
+    def test_mixed_updates_agree(self, rng):
+        from repro.datagen import CorpusSpec, generate_corpus
+        spec = CorpusSpec(tracks=2, revs_per_track=3, subs_per_rev=2,
+                          pubs=8, busy_reviewers=1, seed=9)
+
+        def factory():
+            return generate_corpus(spec)
+
+        probe_pub, probe_rev = factory()
+        updates = [legal_submission(probe_rev, rng) for _ in range(3)]
+        updates.append(submission_xupdate(
+            1, 1, "Edge paper", "Edge Author"))
+        decisions = self._run(factory, updates)
+        assert any(d.applied for d in decisions)
+
+    def test_batch_decisions_agree(self):
+        from repro.datagen import CorpusSpec, generate_corpus
+        spec = CorpusSpec(tracks=2, revs_per_track=3, subs_per_rev=2,
+                          pubs=8, busy_reviewers=1, seed=9)
+        updates = [submission_xupdate(1 + i % 2, 1 + i % 3,
+                                      f"Batch {i}", f"Author {i}")
+                   for i in range(8)]
+
+        def batch(ablated):
+            pub, rev = generate_corpus(spec)
+            guard = IntegrityGuard(SCHEMA, [pub, rev])
+            if ablated:
+                with without_columns():
+                    decisions = guard.check_batch(updates)
+            else:
+                decisions = guard.check_batch(updates)
+            return decisions, [serialize(d) for d in guard.documents]
+
+        columnar, columnar_docs = batch(False)
+        ablated, ablated_docs = batch(True)
+        assert [d.legal for d in columnar] == [d.legal for d in ablated]
+        assert columnar_docs == ablated_docs
+
+
+class TestExplainBackend:
+    def test_columnar_backend_reported(self, documents):
+        _attach_all(documents)
+        text = explain_query(CONFLICT_QUERY, documents)
+        assert "backend: columnar" in text
+        assert "columns: " in text  # per-table cardinalities
+        assert "est~" in text and "examined=" in text
+
+    def test_ablated_backend_reported(self, documents):
+        _attach_all(documents)
+        with without_columns():
+            text = explain_query(CONFLICT_QUERY, documents)
+        assert "backend: planned-DOM" in text
+        assert "backend: columnar" not in text
+
+    def test_detached_documents_fall_back(self, documents):
+        # no store attached: the plan runs, but on the DOM
+        text = explain_query(CONFLICT_QUERY, documents)
+        assert "backend: planned-DOM" in text
+        assert "backend: columnar" not in text
+
+
+class TestColumnarSelectResolution:
+    POSITIONAL_SELECTS = [
+        "/review/track[1]",
+        "/review/track[1]/rev[1]",
+        "/review/track[2]/rev[1]/sub[1]",
+        "/dblp/pub[2]",
+    ]
+
+    FALLBACK_SELECTS = [
+        "//rev",                                # descendant step
+        "/review/track[name/text() = 'Theory']",  # non-positional
+        "/review/*",                            # wildcard
+    ]
+
+    def _document_for(self, documents, select):
+        root = select.lstrip("/").split("/")[0].split("[")[0]
+        for document in documents:
+            if document.root.tag == root:
+                return document
+        return documents[1]
+
+    @pytest.mark.parametrize("select", POSITIONAL_SELECTS)
+    def test_matches_engine(self, select, documents):
+        _attach_all(documents)
+        document = self._document_for(documents, select)
+        expression = parsed_select(select)
+        columnar = _columnar_resolve(document, expression)
+        assert columnar is not None
+        engine = [item for item in evaluate_query(expression, document)]
+        assert columnar == engine
+
+    @pytest.mark.parametrize("select", FALLBACK_SELECTS)
+    def test_fallback_shapes_defer_to_engine(self, select, documents):
+        _attach_all(documents)
+        document = self._document_for(documents, select)
+        assert _columnar_resolve(document, parsed_select(select)) is None
+
+    def test_out_of_range_positional_raises_like_engine(self, documents):
+        _attach_all(documents)
+        document = self._document_for(documents, "/review/track[9]")
+        with pytest.raises(UpdateApplicationError):
+            resolve_select(document, "/review/track[9]")
+
+    def test_resolution_survives_updates(self, documents):
+        _attach_all(documents)
+        rev = self._document_for(documents, "/review")
+        target = resolve_select(rev, "/review/track[2]/rev[1]")
+        track = resolve_select(rev, "/review/track[1]")
+        rev.root.remove(track)
+        # positions shifted: former track[2] is now track[1]
+        assert resolve_select(rev, "/review/track[1]/rev[1]") is target

@@ -1,0 +1,357 @@
+"""Columnar relation storage: units and maintenance differentials.
+
+Covers the two layers of the columnar backend separately from query
+evaluation (:mod:`tests.test_columnar` owns the verdict
+differentials):
+
+* :class:`~repro.relational.columns.TagTable` /
+  :class:`~repro.relational.columns.PathIndex` row/key maintenance
+  (swap-remove, position refresh, rekeying) and the
+  :func:`~repro.relational.columns.chain_reaches` reachability filter;
+* :class:`~repro.relational.incremental.ColumnStore` delta
+  maintenance under a seeded mixed update workload (the faultcheck
+  harness's step vocabulary), asserting after every step that the
+  incrementally-patched columns equal a cold re-shred of the live
+  documents;
+* the write-ahead invalidation protocol: an injected fault inside the
+  delta leaves the store dirty and the next read self-heals with a
+  full rebuild;
+* numpy/stdlib parity for grouping and array snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.guard import IntegrityGuard
+from repro.datagen.running_example import make_schema
+from repro.relational.columns import (
+    PathIndex,
+    TagTable,
+    chain_reaches,
+    numpy_active,
+    stdlib_only,
+)
+from repro.relational.incremental import attach, detach, store_of
+from repro.relational.shredder import iter_facts
+from repro.testing import harness
+from repro.testing.failpoints import fail
+from repro.xquery.optimizer import hash_keys
+from repro.xtree.node import Document, Element, Text
+from repro.xtree.parser import parse_document
+
+NAME_TEXT = (("child", "name"), ("child", "text()"))
+
+PUB_XML = """<dblp>
+ <pub><title>Duckburg tales</title>
+   <aut><name>Alice</name></aut><aut><name>Bob</name></aut></pub>
+ <pub><title>Mouseton stories</title>
+   <aut><name>Carol</name></aut></pub>
+</dblp>"""
+
+REV_XML = """<review>
+ <track><name>Theory</name>
+  <rev><name>Alice</name>
+   <sub><title>Streams</title><auts><name>Erin</name></auts></sub>
+  </rev>
+ </track>
+</review>"""
+
+
+def _text_el(tag: str, value: str) -> Element:
+    element = Element(tag)
+    element.append(Text(value))
+    return element
+
+
+@pytest.fixture
+def schema():
+    return make_schema()
+
+
+@pytest.fixture
+def documents(schema):
+    pub = parse_document(PUB_XML)
+    rev = parse_document(REV_XML)
+    # attaching through the guard is the production path
+    IntegrityGuard(schema, [pub, rev])
+    return pub, rev
+
+
+class TestChainReaches:
+    def test_direct_child_mutation_always_reaches(self):
+        assert chain_reaches(NAME_TEXT, ())
+
+    def test_chain_spelled_by_steps_reaches(self):
+        assert chain_reaches(NAME_TEXT, ("name",))
+
+    def test_chain_diverging_from_steps_is_skipped(self):
+        assert not chain_reaches(NAME_TEXT, ("sub",))
+
+    def test_chain_deeper_than_steps_is_skipped(self):
+        # mutation below name/text() depth cannot change the atoms
+        assert not chain_reaches(NAME_TEXT, ("name", "text()"))
+        assert not chain_reaches(NAME_TEXT, ("name", "x", "y"))
+
+    def test_attribute_steps_never_match_an_element_chain(self):
+        steps = (("attribute", "year"),)
+        assert chain_reaches(steps, ())
+        assert not chain_reaches(steps, ("year",))
+
+
+class TestTagTable:
+    def _table(self, document: Document, schema, tag: str) -> TagTable:
+        store = store_of(document)
+        assert store is not None
+        return store.table(tag)
+
+    def test_rows_match_cold_shred(self, documents, schema):
+        pub, _rev = documents
+        table = self._table(pub, schema, "pub")
+        shredded = sorted(row for fact_tag, row in
+                          iter_facts(pub, schema.relational)
+                          if fact_tag == "pub")
+        assert sorted(table.rows()) == shredded
+
+    def test_swap_remove_keeps_row_map_consistent(self, documents,
+                                                  schema):
+        pub, _rev = documents
+        table = self._table(pub, schema, "aut")
+        elements = list(table.elements)
+        assert len(elements) == 3
+        # discard a *middle* row: the last row must swap in
+        victim = table.elements[0]
+        table.discard(victim)
+        assert len(table) == 2
+        for row, element in enumerate(table.elements):
+            assert table.row_of[element.node_id] == row
+            assert table.ids[row] == element.node_id
+        # discarding again is a no-op
+        version = table.version
+        table.discard(victim)
+        assert table.version == version
+
+    def test_append_is_idempotent(self, documents, schema):
+        pub, _rev = documents
+        table = self._table(pub, schema, "pub")
+        version = table.version
+        table.append(table.elements[0])
+        assert table.version == version
+
+    def test_mutation_refreshes_positions(self, documents, schema):
+        pub, _rev = documents
+        table = self._table(pub, schema, "pub")
+        first = pub.root.children[0]
+        pub.root.remove(first)
+        # the store listener repositions the remaining siblings
+        rows = {element: table.pos[table.row_of[element.node_id]]
+                for element in table.elements}
+        for element, position in rows.items():
+            assert position == element.child_position
+
+    def test_value_columns_follow_text_mutations(self, documents,
+                                                 schema):
+        _pub, rev = documents
+        store = store_of(rev)
+        assert store is not None
+        table = store.table("rev")
+        rev_el = table.elements[0]
+        name = rev_el.first_child("name")
+        assert name is not None
+        old_text = name.children[0]
+        name.remove(old_text)
+        name.append(Text("Zoé"))
+        row = table.row_of[rev_el.node_id]
+        assert table.values["name"][row] == "Zoé"
+        assert store.verify() == []
+
+
+class TestPathIndex:
+    def test_probe_roundtrip(self, documents, schema):
+        _pub, rev = documents
+        store = store_of(rev)
+        assert store is not None
+        index = store.value_index("rev", NAME_TEXT)
+        (key,) = hash_keys("Alice")
+        assert [el.tag for el in index.probe(key)] == ["rev"]
+        assert index.probe(hash_keys("Nobody")[0]) == []
+
+    def test_rekey_moves_buckets(self, documents, schema):
+        _pub, rev = documents
+        store = store_of(rev)
+        assert store is not None
+        index = store.value_index("rev", NAME_TEXT)
+        rev_el = rev.elements_by_tag("rev")[0]
+        name = rev_el.first_child("name")
+        assert name is not None
+        name.remove(name.children[0])
+        name.append(Text("Brianna"))
+        # the mutation listener rekeys through chain_reaches
+        (old_key,) = hash_keys("Alice")
+        (new_key,) = hash_keys("Brianna")
+        assert index.probe(old_key) == []
+        assert index.probe(new_key) == [rev_el]
+        assert store.verify() == []
+
+    def test_discard_unbuckets(self):
+        index = PathIndex("aut", NAME_TEXT)
+        aut = Element("aut")
+        aut.append(_text_el("name", "Ann"))
+        Document(Element("root")).root.append(aut)  # assign node ids
+        index.add(aut)
+        (key,) = hash_keys("Ann")
+        assert index.probe(key) == [aut]
+        index.discard(aut)
+        assert index.probe(key) == []
+        assert len(index) == 0
+
+
+class TestWorkloadDifferential:
+    """Satellite: incrementally-maintained columns equal a cold
+    re-shred after every accepted update of a seeded mixed workload
+    (the faultcheck harness's step vocabulary, fault-free)."""
+
+    @pytest.mark.parametrize("seed", [11, 29])
+    def test_columns_track_mixed_workload(self, seed):
+        pub_doc, rev_doc = harness._fresh_corpus(seed)
+        _, twin_rev = harness._fresh_corpus(seed)
+        schema = make_schema()
+        guard = IntegrityGuard(schema, [pub_doc, rev_doc])
+        # materialize the structures the planner would use, plus one
+        # table per document, so the workload exercises real deltas
+        for document in (pub_doc, rev_doc):
+            store = store_of(document)
+            assert store is not None
+            store.table(document.root.tag)
+        rng = random.Random(seed)
+        accepted = 0
+        for kind in harness._weighted_kinds(rng, 24):
+            step = harness._make_step(kind, twin_rev, rng)
+            if step is None:
+                guard.verify_consistency()
+            elif isinstance(step, list):
+                decisions = guard.check_batch(step)
+                accepted += sum(d.applied for d in decisions)
+            else:
+                try:
+                    decision = guard.try_execute(step)
+                except Exception:
+                    decision = None  # bad-select style steps
+                if decision is not None and decision.applied:
+                    accepted += 1
+            for document in (pub_doc, rev_doc):
+                store = store_of(document)
+                assert store is not None
+                assert store.verify() == [], (seed, kind)
+        assert accepted > 0  # the workload really mutated state
+
+    def test_workload_without_numpy_matches(self):
+        with stdlib_only():
+            self.test_columns_track_mixed_workload(17)
+
+
+class TestCrashConsistency:
+    def test_delta_fault_leaves_dirty_then_self_heals(self, documents):
+        _pub, rev = documents
+        store = store_of(rev)
+        assert store is not None
+        store.table("rev")
+        failures = store.delta_failures
+        rebuilds = store.rebuilds
+        with fail.armed({"columns.delta.apply": "count:1"}) as armed:
+            rev.elements_by_tag("track")[0].append(
+                _text_el("name", "Ghost"))
+            armed.assert_fired("columns.delta.apply")
+        assert store.delta_failures == failures + 1
+        assert store.dirty
+        # the next read rebuilds from the DOM and is consistent again
+        table = store.table("rev")
+        assert store.rebuilds == rebuilds + 1
+        assert not store.dirty
+        assert len(table) == len(rev.elements_by_tag("rev"))
+        assert store.verify() == []
+
+    def test_fault_in_rebuild_keeps_store_dirty(self, documents):
+        _pub, rev = documents
+        store = store_of(rev)
+        assert store is not None
+        store.table("rev")
+        with fail.armed({"columns.delta.settle": "count:1",
+                         "columns.rebuild": "count:1"}) as armed:
+            rev.elements_by_tag("track")[0].append(
+                _text_el("name", "Ghost"))
+            with pytest.raises(Exception):
+                store.table("rev")  # rebuild itself crashes
+            armed.assert_fired("columns.delta.settle",
+                               "columns.rebuild")
+        assert store.dirty  # swap never happened
+        store.table("rev")  # second read succeeds
+        assert store.verify() == []
+
+    def test_unmaterialized_store_stays_trivially_synced(self):
+        document = parse_document("<zoo><animal/></zoo>")
+        store = attach(document)
+        document.root.append(Element("animal"))
+        assert not store.dirty
+        assert store.rebuilds == 0
+
+
+class TestAttachDetach:
+    def test_attach_reuses_equivalent_store(self, documents, schema):
+        pub, _rev = documents
+        store = store_of(pub)
+        assert attach(pub, schema.relational) is store
+        assert attach(pub) is store  # schema-less reuse
+
+    def test_detach_stops_maintenance(self, documents, schema):
+        pub, _rev = documents
+        store = store_of(pub)
+        assert store is not None
+        table = store.table("pub")
+        count = len(table)
+        detach(pub)
+        assert store_of(pub) is None
+        pub.root.append(Element("pub"))
+        assert len(table) == count  # listener removed
+
+
+class TestNumpyParity:
+    def _grouped_table(self, documents) -> TagTable:
+        pub, _rev = documents
+        store = store_of(pub)
+        assert store is not None
+        return store.table("aut")
+
+    def test_children_groups_paths_agree(self, documents):
+        table = self._grouped_table(documents)
+        fast = table.children_groups()
+        table._groups = None
+        table._groups_version = -1
+        with stdlib_only():
+            slow = table.children_groups()
+        assert fast == slow
+
+    def test_structural_view_is_a_safe_copy(self, documents):
+        if not numpy_active():
+            pytest.skip("numpy unavailable")
+        table = self._grouped_table(documents)
+        view = table.structural_view("ids")
+        assert view.tolist() == list(table.ids)
+        view[0] = -1
+        assert table.ids[0] != -1  # a copy, not a buffer view
+        # deltas must not raise BufferError with a view outstanding
+        table.append(_make_orphan_aut())
+        assert table.structural_view("ids").tolist() == list(table.ids)
+
+    def test_stdlib_only_masks_numpy(self):
+        with stdlib_only():
+            assert not numpy_active()
+
+
+def _make_orphan_aut() -> Element:
+    aut = Element("aut")
+    aut.append(_text_el("name", "Extra"))
+    Document(Element("root")).root.append(aut)
+    return aut

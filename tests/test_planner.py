@@ -32,6 +32,7 @@ from repro.xquery.planner import (
     note_batch_mutation,
     query_truth_planned,
     unplanned,
+    without_columns,
 )
 from repro.xtree.node import Document, Element, Text
 from repro.xtree.parser import parse_document
@@ -452,7 +453,10 @@ class TestBatchScope:
         updates = [submission_xupdate(1 + i % 3, 1 + i % 4,
                                       f"T{i}", f"Author {i}")
                    for i in range(8)]
-        with batch_scope() as scope:
+        # the columnar backend serves hash joins from the attached
+        # stores; disable it so the engine builds (and registers) the
+        # legacy per-check index this test observes
+        with without_columns(), batch_scope() as scope:
             for update in updates:
                 guard.try_execute(update)
                 # mirror check_batch's bookkeeping by hand: we drive
