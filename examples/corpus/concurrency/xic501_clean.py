@@ -1,0 +1,25 @@
+"""XIC501 clean fixture: every guarded access holds the lock, either
+directly or via a ``@requires_lock``-marked helper."""
+
+import threading
+
+from repro.analysis.concurrency import guarded_by, requires_lock
+
+
+@guarded_by("self._lock", "_entries")
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._lookup(key)
+
+    @requires_lock("self._lock")
+    def _lookup(self, key):
+        return self._entries.get(key)

@@ -1,0 +1,20 @@
+"""XIC501 firing fixture: guarded attribute touched without its lock."""
+
+import threading
+
+from repro.analysis.concurrency import guarded_by
+
+
+@guarded_by("self._lock", "_entries")
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        # BAD: reads the guarded dict with no lock held
+        return self._entries.get(key)

@@ -1,0 +1,16 @@
+"""XIC502 clean fixture: nested acquisition follows the canonical
+LOCK_ORDER (``document`` before ``planner.plan_cache``)."""
+
+from repro.analysis.concurrency import make_lock, make_rlock
+
+_PLANS: dict = {}  # guarded-by: _PLAN_LOCK
+_PLAN_LOCK = make_lock("planner.plan_cache")
+_NODES: dict = {}  # guarded-by: _DOC_LOCK
+_DOC_LOCK = make_rlock("document")
+
+
+def invalidate(tag: str) -> None:
+    with _DOC_LOCK:
+        _NODES.pop(tag, None)
+        with _PLAN_LOCK:
+            _PLANS.pop(tag, None)

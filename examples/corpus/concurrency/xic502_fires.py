@@ -1,0 +1,19 @@
+"""XIC502 firing fixture: nested ``with`` blocks acquire two ranked
+locks against the canonical LOCK_ORDER (``document`` is outer to
+``planner.plan_cache``)."""
+
+from repro.analysis.concurrency import make_lock, make_rlock
+
+_PLANS: dict = {}  # guarded-by: _PLAN_LOCK
+_PLAN_LOCK = make_lock("planner.plan_cache")
+_NODES: dict = {}  # guarded-by: _DOC_LOCK
+_DOC_LOCK = make_rlock("document")
+
+
+def invalidate(tag: str) -> None:
+    # BAD: takes the (inner) plan-cache lock first, then the
+    # (outer) document lock — the reverse of the canonical order
+    with _PLAN_LOCK:
+        with _DOC_LOCK:
+            _PLANS.pop(tag, None)
+            _NODES.pop(tag, None)

@@ -1,0 +1,20 @@
+"""XIC503 clean fixture: the raw ``acquire()`` is immediately followed
+by ``try``/``finally`` releasing the lock."""
+
+import threading
+
+_LOG: list = []  # guarded-by: _LOG_LOCK
+_LOG_LOCK = threading.Lock()
+
+
+def append(entry) -> None:
+    with _LOG_LOCK:
+        _LOG.append(entry)
+
+
+def flush(sink) -> None:
+    _LOG_LOCK.acquire()
+    try:
+        sink("flushed")
+    finally:
+        _LOG_LOCK.release()

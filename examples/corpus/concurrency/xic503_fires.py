@@ -1,0 +1,19 @@
+"""XIC503 firing fixture: a raw ``acquire()`` whose release is not
+protected by an immediately following ``try/finally``."""
+
+import threading
+
+_LOG: list = []  # guarded-by: _LOG_LOCK
+_LOG_LOCK = threading.Lock()
+
+
+def append(entry) -> None:
+    with _LOG_LOCK:
+        _LOG.append(entry)
+
+
+def flush(sink) -> None:
+    # BAD: an exception in sink() leaks the lock forever
+    _LOG_LOCK.acquire()
+    sink("flushed")
+    _LOG_LOCK.release()

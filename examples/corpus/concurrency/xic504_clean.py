@@ -1,0 +1,18 @@
+"""XIC504 clean fixture: the blocking work happens after the
+document-ranked lock is released."""
+
+import time
+
+from repro.analysis.concurrency import guarded_by, make_rlock
+
+
+@guarded_by("self._lock", "_nodes")
+class Tree:
+    def __init__(self) -> None:
+        self._lock = make_rlock("document")
+        self._nodes: dict = {}
+
+    def checkpoint(self) -> None:
+        with self._lock:
+            self._nodes["checkpointed"] = True
+        time.sleep(0.1)

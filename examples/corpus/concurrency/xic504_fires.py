@@ -1,0 +1,19 @@
+"""XIC504 firing fixture: blocking work while a document-ranked lock
+is held."""
+
+import time
+
+from repro.analysis.concurrency import guarded_by, make_rlock
+
+
+@guarded_by("self._lock", "_nodes")
+class Tree:
+    def __init__(self) -> None:
+        self._lock = make_rlock("document")
+        self._nodes: dict = {}
+
+    def checkpoint(self) -> None:
+        with self._lock:
+            self._nodes["checkpointed"] = True
+            # BAD: every reader of the document stalls for the sleep
+            time.sleep(0.1)

@@ -1,0 +1,26 @@
+"""XIC505 clean fixture: both declaration forms cover their locks — a
+``# guarded-by:`` comment for the module global, ``@guarded_by`` for
+the class attribute."""
+
+import threading
+
+from repro.analysis.concurrency import guarded_by
+
+_SHARED: dict = {}  # guarded-by: _SHARED_LOCK
+_SHARED_LOCK = threading.Lock()
+
+
+def mutate(key, value) -> None:
+    with _SHARED_LOCK:
+        _SHARED[key] = value
+
+
+@guarded_by("self._lock", "_items")
+class Box:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list = []
+
+    def add(self, item) -> None:
+        with self._lock:
+            self._items.append(item)

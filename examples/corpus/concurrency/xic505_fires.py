@@ -1,0 +1,12 @@
+"""XIC505 firing fixture: a lock created without any guarded_by /
+``# guarded-by:`` declaration — invisible to the discipline checks."""
+
+import threading
+
+# BAD: nothing says what this lock protects
+_ORPHAN_LOCK = threading.Lock()
+
+
+def mutate(shared: dict, key, value) -> None:
+    with _ORPHAN_LOCK:
+        shared[key] = value

@@ -1,0 +1,57 @@
+"""Lock-discipline tooling: annotations, static checker, sanitizer.
+
+This package deliberately keeps its import-time surface tiny — only
+the annotation decorators and the sanitizer factories — because the
+runtime modules it checks (``xtree.node``, ``service.locks``, the
+cache modules) import it at *their* import time.  The AST checker
+itself (:mod:`.checker`/:mod:`.registry`) is imported lazily by the
+CLI via :func:`concurrency_diagnostics`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.annotations import (
+    LOCK_ORDER,
+    LOCK_RANKS,
+    guarded_by,
+    rank_of,
+    requires_lock,
+)
+from repro.analysis.concurrency.sanitizer import (
+    LockOrderViolation,
+    Violation,
+    arm,
+    armed,
+    clear_violations,
+    disarm,
+    make_lock,
+    make_rlock,
+    violations,
+)
+
+__all__ = [
+    "LOCK_ORDER",
+    "LOCK_RANKS",
+    "LockOrderViolation",
+    "Violation",
+    "arm",
+    "armed",
+    "clear_violations",
+    "concurrency_diagnostics",
+    "disarm",
+    "guarded_by",
+    "make_lock",
+    "make_rlock",
+    "rank_of",
+    "requires_lock",
+    "violations",
+]
+
+
+def concurrency_diagnostics(paths):
+    """Run the XIC5xx static pass (lazy import of the AST machinery)."""
+    from repro.analysis.concurrency.checker import (
+        concurrency_diagnostics as run,
+    )
+
+    return run(paths)

@@ -1,0 +1,583 @@
+"""The lock-discipline static analyzer (``XIC501``–``XIC505``).
+
+An intraprocedural AST pass over the modules collected by
+:mod:`repro.analysis.concurrency.registry`, reporting:
+
+* ``XIC501`` — a ``@guarded_by``-declared attribute (or a
+  ``# guarded-by:`` module global) accessed outside the matching
+  ``with``-scope and outside a ``@requires_lock``-marked helper;
+* ``XIC502`` — a lock-acquisition ordering problem: a statically
+  visible nesting edge that runs *backwards* against the canonical
+  :data:`~repro.analysis.concurrency.annotations.LOCK_ORDER`, or a
+  cycle in the acquisition graph (nested ``with`` blocks plus a
+  same-module/same-class call-graph closure);
+* ``XIC503`` — a raw ``.acquire*()`` call whose release is not
+  protected by an immediately following ``try/finally`` (use ``with``
+  or the try/finally idiom so an exception cannot leak the lock);
+* ``XIC504`` — a blocking call (sleep, file I/O, subprocess, a
+  ``.wait()`` on a *foreign* condition) made while a document or
+  store lock is held;
+* ``XIC505`` — a lock creation site not covered by any
+  ``guarded_by``/``# guarded-by:`` declaration (undeclared locks are
+  invisible to this analyzer and to the run-time sanitizer's rank
+  table, so they must be annotated or explicitly ignored).
+
+The held-lock state is tracked *textually* over normalized ``with``
+expressions (``self._lock``, ``self.store.write_locked()`` →
+``self.store.lock``), which is what makes the pass intraprocedural
+and annotation-driven rather than a whole-program alias analysis —
+the same trade the paper makes when it checks updates against
+constraints at compile time instead of re-proving the world at run
+time.  A trailing ``# lock: ignore`` comment suppresses any of these
+codes on one line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.concurrency.annotations import LOCK_RANKS
+from repro.analysis.concurrency.registry import (
+    ClassInfo,
+    ModuleInfo,
+    Registry,
+    canonical_of,
+    decorator_requires,
+    scan_paths,
+)
+from repro.analysis.diagnostic import Diagnostic, make_diagnostic
+
+#: call targets considered blocking under a document/store lock
+_BLOCKING_EXACT = {"time.sleep", "sleep", "input", "open", "os.system"}
+_BLOCKING_SUFFIXES = (
+    ".read_text", ".write_text", ".read_bytes", ".write_bytes",
+    ".readline", ".readlines", ".sleep",
+)
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.")
+
+#: holding one of these ranks makes blocking calls reportable
+_MAJOR_LOCKS = {"service.store", "document"}
+
+#: constructors and helpers exempt from the access discipline: a lock
+#: implementation's own acquire/release plumbing, and object
+#: construction (the object is not shared yet)
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__",
+                   "__enter__", "__exit__"}
+
+
+def concurrency_diagnostics(paths: "list[str]") -> list[Diagnostic]:
+    """Run the full lock-discipline pass over ``paths``."""
+    registry = scan_paths(paths)
+    diagnostics: list[Diagnostic] = []
+    graph = _Graph()
+    for module in registry.modules:
+        _check_undeclared_locks(module, diagnostics)
+        for context, function in _iter_functions(module):
+            checker = _FunctionChecker(registry, module, context,
+                                       function, diagnostics, graph)
+            checker.run()
+    graph.close_over_calls()
+    diagnostics.extend(graph.order_diagnostics())
+    diagnostics.sort(key=lambda d: (d.file or "", d.code, d.line or 0,
+                                    d.message))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# XIC505 — undeclared locks
+# ---------------------------------------------------------------------------
+
+def _check_undeclared_locks(module: ModuleInfo,
+                            diagnostics: list[Diagnostic]) -> None:
+    guarding = set(module.guarded_globals.values())
+    for name, site in module.global_locks.items():
+        if site.line in module.ignore_lines:
+            continue
+        if name in guarding or name in module.requires_exprs:
+            continue
+        diagnostics.append(make_diagnostic(
+            "XIC505",
+            f"module lock {name!r} guards nothing: no "
+            f"'# guarded-by: {name}' comment ties a global to it",
+            subject=name, file=module.path, line=site.line,
+            hint="declare the guarded global(s) or add "
+                 "'# lock: ignore' with a reason"))
+    for cls in module.classes.values():
+        declared = set(cls.guards.values())
+        for attr, site in cls.lock_attrs.items():
+            if site.line in module.ignore_lines:
+                continue
+            expr = f"self.{attr}"
+            # requires_lock alone is not coverage here: helpers assert
+            # the lock is held, only guarded_by says what it protects
+            if expr in declared:
+                continue
+            diagnostics.append(make_diagnostic(
+                "XIC505",
+                f"lock {expr!r} of class {cls.name!r} has no "
+                "guarded_by declaration",
+                subject=f"{cls.name}.{attr}",
+                file=module.path, line=site.line,
+                hint=f"add @guarded_by({expr!r}, ...) to "
+                     f"{cls.name} or '# lock: ignore' with a reason"))
+
+
+# ---------------------------------------------------------------------------
+# Function iteration
+# ---------------------------------------------------------------------------
+
+def _iter_functions(module: ModuleInfo):
+    """Yield ``(class or None, function)`` for every function in the
+    module, including methods and nested functions (each checked with
+    its own empty held-set: a closure may run on any thread later)."""
+    stack: list[tuple[ClassInfo | None, ast.AST]] = \
+        [(None, module.tree)]
+    while stack:
+        context, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                stack.append(
+                    (module.classes.get(child.name), child))
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                yield context, child
+                stack.append((context, child))
+
+
+# ---------------------------------------------------------------------------
+# The per-function pass
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Edge:
+    source: str
+    target: str
+    file: str
+    line: int
+
+
+@dataclass
+class _FunctionFacts:
+    """What one function contributes to the acquisition graph."""
+
+    #: canonical names of locks this function acquires directly
+    acquires: set[str] = field(default_factory=set)
+    #: (callee key, canonical names held at the call, file, line)
+    calls: list[tuple[tuple, frozenset, str, int]] = \
+        field(default_factory=list)
+
+
+class _Graph:
+    """The static lock-acquisition graph (XIC502)."""
+
+    def __init__(self) -> None:
+        self.edges: list[_Edge] = []
+        self._seen: set[tuple[str, str]] = set()
+        self.functions: dict[tuple, _FunctionFacts] = {}
+
+    def facts_for(self, key: tuple) -> _FunctionFacts:
+        return self.functions.setdefault(key, _FunctionFacts())
+
+    def add_edge(self, source: str, target: str, file: str,
+                 line: int) -> None:
+        if (source, target) in self._seen:
+            return
+        self._seen.add((source, target))
+        self.edges.append(_Edge(source, target, file, line))
+
+    def close_over_calls(self) -> None:
+        """Charge callees' (transitive) acquisitions to call sites."""
+        closure: dict[tuple, set[str]] = {}
+
+        def acquired(key: tuple, trail: frozenset) -> set[str]:
+            if key in closure:
+                return closure[key]
+            if key in trail:
+                return set()
+            facts = self.functions.get(key)
+            if facts is None:
+                return set()
+            total = set(facts.acquires)
+            for callee, _, _, _ in facts.calls:
+                total |= acquired(callee, trail | {key})
+            closure[key] = total
+            return total
+
+        for key, facts in list(self.functions.items()):
+            for callee, held, file, line in facts.calls:
+                for target in acquired(callee, frozenset({key})):
+                    for source in held:
+                        # a reentrant re-acquisition of the lock the
+                        # caller already holds is not a new edge
+                        if source != target:
+                            self.add_edge(source, target, file, line)
+
+    def order_diagnostics(self) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for edge in self.edges:
+            source_rank = LOCK_RANKS.get(edge.source)
+            target_rank = LOCK_RANKS.get(edge.target)
+            if source_rank is None or target_rank is None:
+                continue
+            if source_rank >= target_rank:
+                diagnostics.append(make_diagnostic(
+                    "XIC502",
+                    f"lock {edge.target!r} acquired while holding "
+                    f"{edge.source!r}, against the canonical order "
+                    "(see LOCK_ORDER in "
+                    "repro.analysis.concurrency.annotations)",
+                    subject=f"{edge.source} -> {edge.target}",
+                    file=edge.file, line=edge.line,
+                    hint="acquire locks outermost-first; restructure "
+                         "so the inner lock is released first"))
+        diagnostics.extend(self._cycle_diagnostics())
+        return diagnostics
+
+    def _cycle_diagnostics(self) -> list[Diagnostic]:
+        adjacency: dict[str, list[_Edge]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.source, []).append(edge)
+        diagnostics: list[Diagnostic] = []
+        reported: set[frozenset] = set()
+        state: dict[str, int] = {}  # 1 = on stack, 2 = done
+
+        def visit(name: str, path: list[_Edge]) -> None:
+            state[name] = 1
+            for edge in adjacency.get(name, ()):
+                if state.get(edge.target) == 1:
+                    cycle = path + [edge]
+                    start = next(
+                        index for index, entry in enumerate(cycle)
+                        if entry.source == edge.target)
+                    loop = cycle[start:]
+                    names = frozenset(
+                        entry.source for entry in loop)
+                    if names in reported:
+                        continue
+                    reported.add(names)
+                    rendered = " -> ".join(
+                        [loop[0].source]
+                        + [entry.target for entry in loop])
+                    diagnostics.append(make_diagnostic(
+                        "XIC502",
+                        "lock acquisition cycle (deadlock risk): "
+                        + rendered,
+                        subject=rendered, file=loop[-1].file,
+                        line=loop[-1].line,
+                        hint="pick one global order for these locks "
+                             "and acquire them outermost-first "
+                             "everywhere"))
+                elif state.get(edge.target) is None:
+                    visit(edge.target, path + [edge])
+            state[name] = 2
+
+        for name in list(adjacency):
+            if state.get(name) is None:
+                visit(name, [])
+        return diagnostics
+
+
+class _FunctionChecker:
+    """Checks one function body: XIC501, XIC503, XIC504 + graph facts."""
+
+    def __init__(self, registry: Registry, module: ModuleInfo,
+                 cls: "ClassInfo | None",
+                 function: "ast.FunctionDef | ast.AsyncFunctionDef",
+                 diagnostics: list[Diagnostic],
+                 graph: _Graph) -> None:
+        self.registry = registry
+        self.module = module
+        self.cls = cls
+        self.function = function
+        self.diagnostics = diagnostics
+        self.graph = graph
+        self.key = (module.path, cls.name if cls else None,
+                    function.name)
+        self.facts = graph.facts_for(self.key)
+        #: normalized held lock expressions, innermost last
+        self.held: list[str] = []
+        #: canonical names of currently held, resolvable locks
+        self.held_canonical: list[str] = []
+        self.exempt_access = (
+            function.name in _EXEMPT_METHODS
+            or function.name.startswith(("acquire", "release")))
+        for expr in decorator_requires(function):
+            self._push_lock(expr, function.lineno, edge=False)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _ignored(self, node: ast.AST) -> bool:
+        return getattr(node, "lineno", 0) in self.module.ignore_lines
+
+    def _report(self, code: str, message: str, node: ast.AST,
+                subject: "str | None" = None,
+                hint: "str | None" = None) -> None:
+        if self._ignored(node):
+            return
+        self.diagnostics.append(make_diagnostic(
+            code, message, subject=subject, file=self.module.path,
+            line=getattr(node, "lineno", None), hint=hint))
+
+    def _normalize(self, text: str) -> str:
+        """``X.read_locked()``/``X.write_locked()`` → ``X.lock``."""
+        for suffix in (".read_locked()", ".write_locked()"):
+            if text.endswith(suffix):
+                base = text[: -len(suffix)]
+                if base.rsplit(".", 1)[-1] == "lock":
+                    return base
+                return base + ".lock"
+        return text
+
+    def _resolve(self, expr: str) -> "str | None":
+        """Canonical rank/graph name of a held-lock expression."""
+        if expr.endswith(".lock") or expr == "lock":
+            return "service.store"
+        last = expr.rsplit(".", 1)[-1]
+        if "." not in expr:
+            site = self.module.global_locks.get(expr)
+            if site is not None:
+                return canonical_of(site)
+            return None
+        if self.cls is not None and expr == f"self.{last}":
+            site = self.cls.lock_attrs.get(last)
+            if site is not None:
+                return canonical_of(site)
+        site = self.registry.unique_lock_attr(last)
+        if site is not None:
+            return canonical_of(site)
+        return None
+
+    def _push_lock(self, raw: str, lineno: int, edge: bool) -> bool:
+        """Track ``raw`` as held; returns True (always pushes)."""
+        text = self._normalize(raw)
+        canonical = self._resolve(text)
+        if canonical is not None and edge:
+            self.facts.acquires.add(canonical)
+            for held in self.held_canonical:
+                if held == canonical and text in self.held:
+                    continue  # reentrant same-expression nesting
+                if held != canonical or text not in self.held:
+                    if held != canonical:
+                        self.graph.add_edge(held, canonical,
+                                            self.module.path, lineno)
+                    elif not self._ignored_line(lineno):
+                        # same rank, different expression: two
+                        # instances of one rank nested
+                        self.diagnostics.append(make_diagnostic(
+                            "XIC502",
+                            f"two {canonical!r} locks nested; "
+                            "instances of one rank have no defined "
+                            "order",
+                            subject=canonical, file=self.module.path,
+                            line=lineno))
+        self.held.append(text)
+        self.held_canonical.append(canonical) \
+            if canonical is not None else None
+        return True
+
+    def _ignored_line(self, lineno: int) -> bool:
+        return lineno in self.module.ignore_lines
+
+    def _holds(self, required: str) -> bool:
+        return required in self.held
+
+    def _holds_major(self) -> bool:
+        return any(name in _MAJOR_LOCKS
+                   for name in self.held_canonical)
+
+    # -- the walk ---------------------------------------------------------
+
+    def run(self) -> None:
+        self._visit_block(self.function.body)
+
+    def _visit_block(self, statements: list[ast.stmt]) -> None:
+        for index, statement in enumerate(statements):
+            follower = statements[index + 1] \
+                if index + 1 < len(statements) else None
+            self._visit_statement(statement, follower)
+
+    def _visit_statement(self, statement: ast.stmt,
+                         follower: "ast.stmt | None") -> None:
+        if isinstance(statement, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            return  # checked separately with a fresh context
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            canonical_pushed = 0
+            for item in statement.items:
+                text = _unparse(item.context_expr)
+                if text is None:
+                    continue
+                before = len(self.held_canonical)
+                self._check_expression(item.context_expr)
+                self._push_lock(text, statement.lineno, edge=True)
+                pushed += 1
+                canonical_pushed += len(self.held_canonical) - before
+            self._visit_block(statement.body)
+            for _ in range(pushed):
+                self.held.pop()
+            for _ in range(canonical_pushed):
+                self.held_canonical.pop()
+            return
+        if isinstance(statement, ast.Try):
+            self._visit_block(statement.body)
+            for handler in statement.handlers:
+                self._visit_block(handler.body)
+            self._visit_block(statement.orelse)
+            self._visit_block(statement.finalbody)
+            return
+        if isinstance(statement, (ast.If, ast.While)):
+            self._check_expression(statement.test)
+            self._visit_block(statement.body)
+            self._visit_block(statement.orelse)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._check_expression(statement.iter)
+            self._check_expression(statement.target)
+            self._visit_block(statement.body)
+            self._visit_block(statement.orelse)
+            return
+        # leaf statement: check raw-acquire shape, then expressions
+        self._check_raw_acquire(statement, follower)
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                self._check_expression(child)
+        return
+
+    # -- XIC501 -----------------------------------------------------------
+
+    def _check_expression(self, node: ast.expr) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Attribute):
+                self._check_attribute(child)
+            elif isinstance(child, ast.Name):
+                self._check_global(child)
+            elif isinstance(child, ast.Call):
+                self._check_blocking_call(child)
+            elif isinstance(child, (ast.Lambda, ast.FunctionDef)):
+                pass  # closures get their own (empty-held) pass
+
+    def _check_attribute(self, node: ast.Attribute) -> None:
+        if self.exempt_access:
+            return
+        attr = node.attr
+        prefix = _unparse(node.value)
+        if prefix is None:
+            return
+        required: "str | None" = None
+        if self.cls is not None and prefix == "self" \
+                and attr in self.cls.guards:
+            required = self.cls.guards[attr]
+        elif attr.startswith("_"):
+            owner = self.registry.unique_guard(attr)
+            if owner is not None:
+                owner_class, lock_expr = owner
+                if prefix == "self":
+                    # only the owning class's own methods qualify;
+                    # a same-named private attr elsewhere is a
+                    # different object
+                    return
+                required = prefix + lock_expr[len("self"):]
+        if required is None:
+            return
+        if self._holds(required):
+            return
+        self._report(
+            "XIC501",
+            f"attribute {prefix}.{attr!s} is guarded by "
+            f"{required!r} but accessed without it",
+            node, subject=f"{prefix}.{attr}",
+            hint=f"wrap the access in 'with {required}:' or mark "
+                 f"the helper @requires_lock({required!r})")
+
+    def _check_global(self, node: ast.Name) -> None:
+        if self.exempt_access:
+            return
+        lock_name = self.module.guarded_globals.get(node.id)
+        if lock_name is None:
+            return
+        if self._holds(lock_name):
+            return
+        self._report(
+            "XIC501",
+            f"module global {node.id!r} is guarded by {lock_name!r} "
+            "but accessed without it",
+            node, subject=node.id,
+            hint=f"wrap the access in 'with {lock_name}:'")
+
+    # -- XIC503 -----------------------------------------------------------
+
+    def _check_raw_acquire(self, statement: ast.stmt,
+                           follower: "ast.stmt | None") -> None:
+        if self.exempt_access:
+            return
+        if not isinstance(statement, ast.Expr) \
+                or not isinstance(statement.value, ast.Call):
+            return
+        call = statement.value
+        if not isinstance(call.func, ast.Attribute) \
+                or not call.func.attr.startswith("acquire"):
+            return
+        base = _unparse(call.func.value)
+        if base is None:
+            return
+        if isinstance(follower, ast.Try) \
+                and _releases_in_finally(follower, base):
+            return
+        self._report(
+            "XIC503",
+            f"{base}.{call.func.attr}() is not followed by a "
+            "try/finally that releases it",
+            statement, subject=base,
+            hint="use a 'with' block, or follow the acquire with "
+                 "try: ... finally: release")
+
+    # -- XIC504 -----------------------------------------------------------
+
+    def _check_blocking_call(self, node: ast.Call) -> None:
+        if not self._holds_major():
+            return
+        target = _unparse(node.func)
+        if target is None:
+            return
+        blocking = (
+            target in _BLOCKING_EXACT
+            or target.endswith(_BLOCKING_SUFFIXES)
+            or target.startswith(_BLOCKING_PREFIXES))
+        foreign_wait = False
+        if not blocking and target.endswith(".wait"):
+            base = target[: -len(".wait")]
+            foreign_wait = base not in self.held
+        if not blocking and not foreign_wait:
+            return
+        holding = next(name for name in self.held_canonical
+                       if name in _MAJOR_LOCKS)
+        kind = "a wait on a foreign condition" if foreign_wait \
+            else f"blocking call {target}()"
+        self._report(
+            "XIC504",
+            f"{kind} while holding the {holding!r} lock",
+            node, subject=target,
+            hint="move the blocking work outside the locked scope")
+
+
+def _releases_in_finally(statement: ast.Try, base: str) -> bool:
+    for node in ast.walk(ast.Module(body=statement.finalbody,
+                                    type_ignores=[])):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr.startswith("release") \
+                and _unparse(node.func.value) == base:
+            return True
+    return False
+
+
+def _unparse(node: "ast.expr | None") -> "str | None":
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return None

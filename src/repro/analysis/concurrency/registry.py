@@ -1,0 +1,323 @@
+"""Static lock registry: what the annotations declare, per module.
+
+:func:`scan_paths` parses every ``.py`` file under the given paths and
+builds a :class:`Registry` of the lock-discipline declarations the
+checker consumes:
+
+* classes decorated with ``@guarded_by(lock, *fields)``;
+* lock *creation sites* — assignments of ``threading.Lock()`` /
+  ``RLock()`` / ``Condition()``, :func:`...sanitizer.make_lock` /
+  :func:`...make_rlock` (which carry the canonical rank name as their
+  argument) and ``ReadWriteLock(...)`` — both ``self.attr = ...`` in
+  methods and module-level globals;
+* module globals tied to a lock by a trailing
+  ``# guarded-by: LOCK_NAME`` comment on their defining assignment;
+* per-line ``# lock: ignore`` suppressions.
+
+Everything is collected purely from source text and AST — the scanned
+modules are never imported, so the linter can run over broken or
+import-cycle-heavy code, and over the fixture corpus, identically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: call targets (dotted suffixes) that construct a lock object
+_LOCK_CALLS = {
+    "Lock", "RLock", "Condition",
+    "threading.Lock", "threading.RLock", "threading.Condition",
+}
+_NAMED_LOCK_CALLS = {"make_lock", "make_rlock"}
+_RWLOCK_CALLS = {"ReadWriteLock"}
+
+_GUARDED_COMMENT = re.compile(
+    r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+_IGNORE_COMMENT = re.compile(r"#\s*lock:\s*ignore\b")
+
+
+@dataclass
+class LockSite:
+    """One lock creation site."""
+
+    #: canonical rank name (from ``make_lock("...")``) or ``None``
+    canonical: str | None
+    file: str
+    line: int
+    #: owning class name, or ``None`` for a module-level global
+    owner: str | None
+    #: the ``self.<attr>`` attribute or global variable bound to it
+    attr: str
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    file: str
+    line: int
+    #: guarded field → lock expression (``"self._lock"``)
+    guards: dict[str, str] = field(default_factory=dict)
+    #: lock attribute name → creation site
+    lock_attrs: dict[str, LockSite] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    path: str
+    tree: ast.Module
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: global variable name → creation site
+    global_locks: dict[str, LockSite] = field(default_factory=dict)
+    #: guarded global variable → guarding lock variable (same module)
+    guarded_globals: dict[str, str] = field(default_factory=dict)
+    #: 1-based line numbers carrying ``# lock: ignore``
+    ignore_lines: set[int] = field(default_factory=set)
+    #: every lock expression referenced by a ``requires_lock`` in
+    #: this module (counts as "coverage" for XIC505)
+    requires_exprs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Registry:
+    modules: list[ModuleInfo] = field(default_factory=list)
+    #: guarded field name → [(class name, lock expression)]
+    attr_guards: dict[str, list[tuple[str, str]]] = \
+        field(default_factory=dict)
+    #: lock attribute basename → creation sites (all classes)
+    lock_attr_sites: dict[str, list[LockSite]] = \
+        field(default_factory=dict)
+
+    def unique_guard(self, attr: str) -> "tuple[str, str] | None":
+        """(class, lock expr) when ``attr`` is guarded in exactly one
+        class; ``None`` when unknown or ambiguous."""
+        owners = self.attr_guards.get(attr, [])
+        if len({expr for _, expr in owners}) == 1:
+            return owners[0]
+        return None
+
+    def unique_lock_attr(self, attr: str) -> "LockSite | None":
+        sites = self.lock_attr_sites.get(attr, [])
+        canonicals = {canonical_of(site) for site in sites}
+        if len(canonicals) == 1:
+            return sites[0]
+        return None
+
+
+def canonical_of(site: LockSite) -> str:
+    """The graph/rank name of a lock site.
+
+    Named locks use their canonical rank name; anonymous ones get a
+    stable ``<module stem>.<variable>`` pseudo-name (these participate
+    in cycle detection but have no rank in ``LOCK_ORDER``).
+    """
+    if site.canonical is not None:
+        return site.canonical
+    return f"{Path(site.file).stem}.{site.attr}"
+
+
+def iter_python_files(paths: "list[str]") -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def scan_paths(paths: "list[str]") -> Registry:
+    registry = Registry()
+    for path in iter_python_files(paths):
+        module = _scan_module(path)
+        if module is None:
+            continue
+        registry.modules.append(module)
+        for cls in module.classes.values():
+            for field_name, lock_expr in cls.guards.items():
+                registry.attr_guards.setdefault(field_name, []).append(
+                    (cls.name, lock_expr))
+            for attr, site in cls.lock_attrs.items():
+                registry.lock_attr_sites.setdefault(attr, []).append(
+                    site)
+    return registry
+
+
+def _scan_module(path: Path) -> "ModuleInfo | None":
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    module = ModuleInfo(path=str(path), tree=tree)
+    comment_guards = _scan_comments(source, module)
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            _collect_global_lock(node, module)
+            _tie_guarded_global(node, comment_guards, module)
+        elif isinstance(node, ast.ClassDef):
+            module.classes[node.name] = _scan_class(node, module)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for expr in decorator_requires(node):
+                module.requires_exprs.add(expr)
+    return module
+
+
+def _scan_comments(source: str, module: ModuleInfo) -> dict[int, str]:
+    """Record ignore lines; return line → ``# guarded-by:`` lock name."""
+    comment_guards: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _IGNORE_COMMENT.search(line):
+            module.ignore_lines.add(lineno)
+        match = _GUARDED_COMMENT.search(line)
+        if match:
+            comment_guards[lineno] = match.group(1)
+    return comment_guards
+
+
+def _tie_guarded_global(node: "ast.Assign | ast.AnnAssign",
+                        comment_guards: dict[int, str],
+                        module: ModuleInfo) -> None:
+    """Bind a ``# guarded-by:`` comment anywhere in the assignment's
+    line span (continuation lines included) to its target globals."""
+    end = node.end_lineno or node.lineno
+    lock_name = next(
+        (comment_guards[lineno]
+         for lineno in range(node.lineno, end + 1)
+         if lineno in comment_guards), None)
+    if lock_name is None:
+        return
+    targets = [node.target] if isinstance(node, ast.AnnAssign) \
+        else node.targets
+    for target in targets:
+        if isinstance(target, ast.Name):
+            module.guarded_globals[target.id] = lock_name
+
+
+def _scan_class(node: ast.ClassDef, module: ModuleInfo) -> ClassInfo:
+    info = ClassInfo(name=node.name, file=module.path, line=node.lineno)
+    for decorator in node.decorator_list:
+        parsed = _parse_guarded_by(decorator)
+        if parsed is not None:
+            lock_expr, fields = parsed
+            for field_name in fields:
+                info.guards[field_name] = lock_expr
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+            continue
+        for statement in ast.walk(method):
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+                value = statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+                value = statement.value
+            else:
+                continue
+            canonical = _lock_call(value)
+            if canonical is _NOT_A_LOCK:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    info.lock_attrs[target.attr] = LockSite(
+                        canonical=canonical, file=module.path,
+                        line=statement.lineno, owner=node.name,
+                        attr=target.attr)
+    return info
+
+
+def _collect_global_lock(node: "ast.Assign | ast.AnnAssign",
+                         module: ModuleInfo) -> None:
+    value = node.value if isinstance(node, ast.AnnAssign) \
+        else node.value
+    canonical = _lock_call(value)
+    if canonical is _NOT_A_LOCK:
+        return
+    targets = [node.target] if isinstance(node, ast.AnnAssign) \
+        else node.targets
+    for target in targets:
+        if isinstance(target, ast.Name):
+            module.global_locks[target.id] = LockSite(
+                canonical=canonical, file=module.path,
+                line=node.lineno, owner=None, attr=target.id)
+
+
+#: sentinel: the inspected expression does not construct a lock
+_NOT_A_LOCK = object()
+
+
+def _lock_call(value: "ast.expr | None"):
+    """``None``/name when ``value`` constructs a lock, else the
+    :data:`_NOT_A_LOCK` sentinel."""
+    if not isinstance(value, ast.Call):
+        return _NOT_A_LOCK
+    target = _dotted(value.func)
+    if target is None:
+        return _NOT_A_LOCK
+    basename = target.rsplit(".", 1)[-1]
+    if target in _LOCK_CALLS:
+        return None
+    if basename in _NAMED_LOCK_CALLS:
+        if value.args and isinstance(value.args[0], ast.Constant) \
+                and isinstance(value.args[0].value, str):
+            return value.args[0].value
+        return None
+    if basename in _RWLOCK_CALLS:
+        for keyword in value.keywords:
+            if keyword.arg == "name" \
+                    and isinstance(keyword.value, ast.Constant):
+                return str(keyword.value.value)
+        return "service.store"
+    return _NOT_A_LOCK
+
+
+def _dotted(node: ast.expr) -> "str | None":
+    """``a.b.c`` for plain dotted names, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _parse_guarded_by(
+        decorator: ast.expr) -> "tuple[str, list[str]] | None":
+    if not isinstance(decorator, ast.Call):
+        return None
+    target = _dotted(decorator.func)
+    if target is None or target.rsplit(".", 1)[-1] != "guarded_by":
+        return None
+    strings = [argument.value for argument in decorator.args
+               if isinstance(argument, ast.Constant)
+               and isinstance(argument.value, str)]
+    if len(strings) < 2:
+        return None
+    return strings[0], strings[1:]
+
+
+def decorator_requires(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef") -> list[str]:
+    """The lock expressions of ``@requires_lock(...)`` decorators."""
+    held: list[str] = []
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        target = _dotted(decorator.func)
+        if target is None \
+                or target.rsplit(".", 1)[-1] != "requires_lock":
+            continue
+        for argument in decorator.args:
+            if isinstance(argument, ast.Constant) \
+                    and isinstance(argument.value, str):
+                held.append(argument.value)
+    return held

@@ -1,0 +1,241 @@
+"""Opt-in run-time lock-order sanitizer.
+
+The dynamic half of the lock-discipline tooling: while the static
+pass (:mod:`repro.analysis.concurrency.checker`) proves what it can
+see in the AST, the sanitizer watches the locks a *live* process
+actually takes and enforces the canonical
+:data:`~repro.analysis.concurrency.annotations.LOCK_ORDER` on every
+acquisition.  It records, per thread, the stack of named locks
+currently held (with the Python call stack at each acquisition) and
+flags
+
+* acquiring a lock whose rank is not strictly greater than every held
+  lock (an ordering inversion: two threads doing this in opposite
+  orders is the classic deadlock), and
+* re-acquiring a held non-reentrant lock (self-deadlock).
+
+Violations are recorded with **both** stacks — the one that took the
+held lock and the one attempting the inversion — and raised as
+:class:`LockOrderViolation` so CI legs fail loudly.
+
+Arming
+------
+The sanitizer is **opt-in**: set ``REPRO_LOCK_SANITIZER=1`` before
+the process starts (the stress and faultcheck CI legs do), or call
+:func:`arm` programmatically before constructing the documents and
+stores under test.  When disarmed — the default — :func:`make_lock`
+and :func:`make_rlock` return *bare* ``threading`` primitives: no
+wrapper object is installed, so the production fast path pays nothing.
+Locks created while disarmed stay bare even if the process is armed
+later; arming is therefore a construction-time decision, which is why
+the CI legs arm via the environment.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+
+from repro.analysis.concurrency.annotations import rank_of
+
+
+class LockOrderViolation(RuntimeError):
+    """A thread violated the canonical lock acquisition order."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded ordering violation (kept even when the raised
+    :class:`LockOrderViolation` is swallowed by the caller)."""
+
+    thread: str
+    #: canonical name of the lock being acquired
+    acquiring: str
+    #: canonical name of the already-held lock that outranks it
+    holding: str
+    #: formatted stack of the offending acquisition attempt
+    acquire_stack: str
+    #: formatted stack captured when the held lock was taken
+    holding_stack: str
+
+    def render(self) -> str:
+        return (
+            f"lock order violation in thread {self.thread!r}: "
+            f"acquiring {self.acquiring!r} while holding "
+            f"{self.holding!r}\n"
+            f"--- stack holding {self.holding!r} ---\n"
+            f"{self.holding_stack}"
+            f"--- stack acquiring {self.acquiring!r} ---\n"
+            f"{self.acquire_stack}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.render()
+
+
+class _Held:
+    """One entry of a thread's held-lock stack."""
+
+    __slots__ = ("name", "rank", "instance", "stack")
+
+    def __init__(self, name: str, rank: int, instance: object,
+                 stack: str) -> None:
+        self.name = name
+        self.rank = rank
+        self.instance = instance
+        self.stack = stack
+
+
+_TLS = threading.local()
+_VIOLATIONS: list[Violation] = []  # guarded-by: _VIOLATIONS_LOCK
+_VIOLATIONS_LOCK = threading.Lock()
+_armed = os.environ.get("REPRO_LOCK_SANITIZER", "") not in ("", "0")
+
+
+def armed() -> bool:
+    """Whether locks created *now* would be sanitized."""
+    return _armed
+
+
+def arm() -> None:
+    """Sanitize locks created from here on (tests; CI uses the env)."""
+    global _armed
+    _armed = True
+
+
+def disarm() -> None:
+    """Stop sanitizing newly created locks and drop recorded
+    violations.  Locks wrapped while armed keep their wrappers (they
+    only stop mattering once the objects holding them are dropped)."""
+    global _armed
+    _armed = False
+    clear_violations()
+
+
+def violations() -> list[Violation]:
+    """Every ordering violation recorded since the last clear."""
+    with _VIOLATIONS_LOCK:
+        return list(_VIOLATIONS)
+
+
+def clear_violations() -> None:
+    with _VIOLATIONS_LOCK:
+        _VIOLATIONS.clear()
+
+
+def _held_stack() -> "list[_Held]":
+    held = getattr(_TLS, "held", None)
+    if held is None:
+        held = _TLS.held = []
+    return held
+
+
+def _capture_stack() -> str:
+    # drop the two sanitizer-internal frames at the top
+    return "".join(traceback.format_stack()[:-2])
+
+
+def note_before_acquire(name: str, instance: object,
+                        reentrant: bool) -> None:
+    """Order check, called *before* blocking on the acquisition.
+
+    Raises :class:`LockOrderViolation` (after recording) when the
+    acquisition would violate the canonical order; checking before
+    blocking means the violation is reported instead of deadlocking.
+    """
+    rank = rank_of(name)
+    if rank is None:
+        return
+    stack = _held_stack()
+    for held in stack:
+        if held.instance is instance:
+            if reentrant:
+                # re-entry of a held RLock adds no acquisition edge
+                return
+            _report(name, held)
+    for held in stack:
+        if held.rank >= rank:
+            _report(name, held)
+
+
+def note_acquired(name: str, instance: object) -> None:
+    """Push the lock onto the calling thread's held stack."""
+    rank = rank_of(name)
+    if rank is None:
+        return
+    _held_stack().append(_Held(name, rank, instance, _capture_stack()))
+
+
+def note_release(name: str, instance: object) -> None:
+    """Pop the most recent hold of ``instance`` from the held stack."""
+    if rank_of(name) is None:
+        return
+    held = _held_stack()
+    for index in range(len(held) - 1, -1, -1):
+        if held[index].instance is instance:
+            del held[index]
+            return
+
+
+def _report(acquiring: str, held: _Held) -> None:
+    violation = Violation(
+        thread=threading.current_thread().name,
+        acquiring=acquiring,
+        holding=held.name,
+        acquire_stack=_capture_stack(),
+        holding_stack=held.stack,
+    )
+    with _VIOLATIONS_LOCK:
+        _VIOLATIONS.append(violation)
+    raise LockOrderViolation(violation.render())
+
+
+class SanitizedLock:
+    """A named ``threading.Lock``/``RLock`` wrapper that reports every
+    acquisition to the sanitizer.  Only installed while armed."""
+
+    __slots__ = ("name", "_inner", "_reentrant")
+
+    def __init__(self, name: str, inner, reentrant: bool) -> None:
+        self.name = name
+        self._inner = inner
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        note_before_acquire(self.name, self, self._reentrant)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            note_acquired(self.name, self)
+        return acquired
+
+    def release(self) -> None:
+        note_release(self.name, self)
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return locked() if locked is not None else False
+
+
+def make_lock(name: str):
+    """A mutex for the canonical rank ``name``: a bare
+    ``threading.Lock`` when disarmed, a sanitized wrapper when armed."""
+    if not _armed:
+        return threading.Lock()
+    return SanitizedLock(name, threading.Lock(), reentrant=False)
+
+
+def make_rlock(name: str):
+    """Reentrant variant of :func:`make_lock`."""
+    if not _armed:
+        return threading.RLock()
+    return SanitizedLock(name, threading.RLock(), reentrant=True)

@@ -87,13 +87,47 @@ class LintReport:
                          + ", ".join(self.dead_constraints))
         return "\n".join(lines)
 
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Diagnostics in stable (file, code, location) order.
+
+        The deterministic order makes JSON output and CI annotation
+        diffs stable across runs regardless of pass scheduling.
+        """
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.file or "", d.code, d.line or 0,
+                           d.subject or "", d.message))
+
     def to_json(self) -> str:
         return json.dumps({
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "diagnostics": [d.to_dict()
+                            for d in self.sorted_diagnostics()],
             "dead_constraints": self.dead_constraints,
             "compiled_constraints": self.compiled_constraints,
             "max_severity": self.max_severity(),
         }, indent=2)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-annotation lines (one per finding).
+
+        ``::error``/``::warning``/``::notice`` commands with ``file``/
+        ``line`` properties where the diagnostic carries a location, so
+        findings surface inline on pull-request diffs.
+        """
+        lines = []
+        for diagnostic in self.sorted_diagnostics():
+            level = {ERROR: "error", WARNING: "warning"}.get(
+                diagnostic.severity, "notice")
+            properties = [f"title={diagnostic.code}"]
+            if diagnostic.file is not None:
+                properties.insert(0, f"file={diagnostic.file}")
+                properties.insert(1, f"line={diagnostic.line or 1}")
+            message = diagnostic.message
+            if diagnostic.subject:
+                message = f"[{diagnostic.subject}] {message}"
+            lines.append(
+                f"::{level} {','.join(properties)}::{message}")
+        return "\n".join(lines)
 
 
 def lint_sources(dtds: "list[str | DTD]",

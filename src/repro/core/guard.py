@@ -18,10 +18,10 @@ Three checkers share one interface (``try_execute`` / ``execute``):
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.analysis.concurrency import make_lock
 from repro.core.schema import ConstraintSchema, PatternChecks
 from repro.datalog.database import FactDatabase
 from repro.datalog.denial import Denial
@@ -54,8 +54,9 @@ from repro.xupdate.parser import (
 #: update documents (benchmark batches, retry loops), and parsing is a
 #: fixed per-submission cost.  Caching is safe because operations are
 #: frozen dataclasses and the apply path deep-copies inserted content.
-_UPDATE_CACHE: "OrderedDict[str, list[Operation]]" = OrderedDict()
-_UPDATE_CACHE_LOCK = threading.Lock()
+_UPDATE_CACHE: "OrderedDict[str, list[Operation]]" = \
+    OrderedDict()  # guarded-by: _UPDATE_CACHE_LOCK
+_UPDATE_CACHE_LOCK = make_lock("core.update_cache")
 _UPDATE_CACHE_CAPACITY = 256
 
 

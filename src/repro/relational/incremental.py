@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from repro.analysis.concurrency import guarded_by, requires_lock
 from repro.relational.columns import (
     Downpath,
     PathIndex,
@@ -53,6 +54,8 @@ _HOT_TABLES: dict[str, dict[str, None]] = {}
 _HOT_CAP = 64
 
 
+@guarded_by("self.document._lock", "_tables", "_indexes",
+            "_synced_revision")
 class ColumnStore:
     """The columnar mirror of one document.
 
@@ -157,6 +160,7 @@ class ColumnStore:
     def _elements(self, tag: str) -> list[Element]:
         return self.document.elements_by_tag(tag)
 
+    @requires_lock("self.document._lock")
     def _validate(self) -> None:
         """Rebuild every materialized structure if the store is dirty.
 
@@ -176,6 +180,7 @@ class ColumnStore:
 
     # -- delta maintenance -----------------------------------------------
 
+    @requires_lock("self.document._lock")
     def _on_mutation(self, kind: str, node: Node,
                      parent: Element | None) -> None:
         """Mutation listener: patch columns from one adopt/orphan.
@@ -201,6 +206,7 @@ class ColumnStore:
             return  # stays dirty
         self._synced_revision = self.document.revision
 
+    @requires_lock("self.document._lock")
     def _apply_delta(self, kind: str, node: Node,
                      parent: Element | None) -> None:
         if isinstance(node, Element):
@@ -222,10 +228,12 @@ class ColumnStore:
                 self._refresh_positions(parent)
         self._refresh_ancestors(parent)
 
+    @requires_lock("self.document._lock")
     def _indexes_for(self, tag: str) -> "list[PathIndex]":
         return [index for (index_tag, _), index in self._indexes.items()
                 if index_tag == tag]
 
+    @requires_lock("self.document._lock")
     def _refresh_positions(self, parent: Element) -> None:
         """One pass over the mutation parent's children: sibling
         positions shift for every element sibling after an insert or
@@ -238,6 +246,7 @@ class ColumnStore:
                 if table is not None:
                     table.set_pos(child, position)
 
+    @requires_lock("self.document._lock")
     def _refresh_ancestors(self, parent: Element | None) -> None:
         """Value columns and index keys of the ancestor chain.
 

@@ -15,9 +15,13 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analysis.concurrency import annotations as _locking
+from repro.analysis.concurrency import sanitizer as _sanitizer
 from repro.testing.failpoints import fail
 
 
+@_locking.guarded_by("self._condition", "_readers", "_writer_active",
+                     "_writers_waiting")
 class ReadWriteLock:
     """A writer-preferring reader–writer lock.
 
@@ -27,34 +31,50 @@ class ReadWriteLock:
 
     The lock is not reentrant: a thread must not acquire the read side
     while holding the write side or vice versa.  The service layer
-    keeps that discipline by taking exactly one side per public call.
+    keeps that discipline by taking exactly one side per public call;
+    the lock-order sanitizer enforces it on armed processes under the
+    canonical rank ``name`` (``"service.store"`` by default).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "service.store") -> None:
+        self.name = name
         self._condition = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        # construction-time decision, like make_lock: disarmed locks
+        # never pay for the hooks
+        self._sanitized = _sanitizer.armed()
 
     # -- read side ----------------------------------------------------------
 
     def acquire_read(self) -> None:
+        if self._sanitized:
+            _sanitizer.note_before_acquire(self.name, self,
+                                           reentrant=False)
         with self._condition:
             while self._writer_active or self._writers_waiting:
                 self._condition.wait()
             self._readers += 1
+        if self._sanitized:
+            _sanitizer.note_acquired(self.name, self)
 
     def release_read(self) -> None:
         with self._condition:
-            self._readers -= 1
-            if self._readers < 0:
+            if self._readers <= 0:
                 raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
             if self._readers == 0:
                 self._condition.notify_all()
+        if self._sanitized:
+            _sanitizer.note_release(self.name, self)
 
     # -- write side ---------------------------------------------------------
 
     def acquire_write(self) -> None:
+        if self._sanitized:
+            _sanitizer.note_before_acquire(self.name, self,
+                                           reentrant=False)
         with self._condition:
             self._writers_waiting += 1
             try:
@@ -63,6 +83,8 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if self._sanitized:
+            _sanitizer.note_acquired(self.name, self)
 
     def release_write(self) -> None:
         with self._condition:
@@ -70,6 +92,8 @@ class ReadWriteLock:
                 raise RuntimeError("release_write without acquire_write")
             self._writer_active = False
             self._condition.notify_all()
+        if self._sanitized:
+            _sanitizer.note_release(self.name, self)
 
     # -- context managers ---------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.analysis.concurrency import guarded_by, requires_lock
 from repro.core.guard import IntegrityGuard, UpdateDecision, _CheckerBase
 from repro.core.schema import ConstraintSchema
 from repro.errors import IntegrityViolationError, SchemaError
@@ -33,6 +34,7 @@ from repro.xtree.serializer import serialize
 from repro.xupdate.parser import Operation
 
 
+@guarded_by("self.lock", "_documents")
 class DocumentStore:
     """A collection of documents behind one reader–writer lock.
 
@@ -54,6 +56,7 @@ class DocumentStore:
         self.lock = ReadWriteLock()
 
     @property
+    @requires_lock("self.lock")
     def documents(self) -> list[Document]:
         """The live document list (shared with the checkers).
 
@@ -62,6 +65,7 @@ class DocumentStore:
         """
         return self._documents
 
+    @requires_lock("self.lock")
     def document(self, root_tag: str) -> Document:
         for document in self._documents:
             if document.root.tag == root_tag:
@@ -89,6 +93,7 @@ class CommittedUpdate:
     decision: UpdateDecision
 
 
+@guarded_by("self.store.lock", "_committed")
 class CheckingService:
     """Thread-safe façade over a run-time checker.
 
@@ -120,7 +125,8 @@ class CheckingService:
         service = cls.__new__(cls)
         service.store = DocumentStore(checker.documents)
         service.checker = checker
-        service._committed = []
+        # construction: the service is not shared with any thread yet
+        service._committed = []  # lock: ignore
         return service
 
     # -- writers -------------------------------------------------------------

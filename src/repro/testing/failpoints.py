@@ -60,6 +60,8 @@ from contextlib import contextmanager
 from fnmatch import fnmatchcase
 from typing import Iterator
 
+from repro.analysis.concurrency import guarded_by, make_lock
+
 __all__ = [
     "FailPointError",
     "FailPointRegistry",
@@ -257,16 +259,16 @@ class ArmedHandle:
     def __init__(self, sites: dict[str, _ArmedSite],
                  lock: threading.Lock) -> None:
         self._sites = sites
-        self._lock = lock
+        self._registry_lock = lock
 
     def hits(self, site: str) -> int:
         """Times the site was reached while this arming was active."""
-        with self._lock:
+        with self._registry_lock:
             return self._sites[site].hits
 
     def fires(self, site: str) -> int:
         """Times the site raised while this arming was active."""
-        with self._lock:
+        with self._registry_lock:
             return self._sites[site].fires
 
     def fired(self, site: str) -> bool:
@@ -274,7 +276,7 @@ class ArmedHandle:
 
     def counts(self) -> dict[str, tuple[int, int]]:
         """site → (hits, fires) for every armed site."""
-        with self._lock:
+        with self._registry_lock:
             return {name: (armed.hits, armed.fires)
                     for name, armed in self._sites.items()}
 
@@ -317,6 +319,7 @@ def parse_schedule(spec: "dict[str, str | Trigger] | str",
     return entries
 
 
+@guarded_by("self._registry_lock", "_armed")
 class FailPointRegistry:
     """Process-global registry of armed failpoints.
 
@@ -332,17 +335,21 @@ class FailPointRegistry:
         #: is atomic, and an unarmed registry is an *empty* dict —
         #: the advertised single-lookup fast path.
         self._armed: dict[str, _ArmedSite] = {}
-        self._lock = threading.Lock()
+        self._registry_lock = make_lock("testing.failpoints")
 
     def point(self, site: str) -> None:
-        """Fault-injection site: no-op unless ``site`` is armed."""
-        armed = self._armed.get(site)
+        """Fault-injection site: no-op unless ``site`` is armed.
+
+        The unlocked read is the documented benign fast path — see the
+        ``_armed`` comment in :meth:`__init__`.
+        """
+        armed = self._armed.get(site)  # lock: ignore
         if armed is None:
             return
         self._hit(armed)
 
     def _hit(self, armed: _ArmedSite) -> None:
-        with self._lock:
+        with self._registry_lock:
             armed.hits += 1
             trigger = armed.trigger
             if not trigger.matches_thread(
@@ -357,7 +364,7 @@ class FailPointRegistry:
 
     def active_sites(self) -> dict[str, str]:
         """Currently armed site → rendered trigger spec."""
-        with self._lock:
+        with self._registry_lock:
             return {name: armed.trigger.render()
                     for name, armed in self._armed.items()}
 
@@ -373,15 +380,15 @@ class FailPointRegistry:
         triggers = parse_schedule(schedule, known_only=known_only)
         session = {site: _ArmedSite(site, trigger)
                    for site, trigger in triggers.items()}
-        with self._lock:
+        with self._registry_lock:
             previous = self._armed
             merged = dict(previous)
             merged.update(session)
             self._armed = merged
         try:
-            yield ArmedHandle(session, self._lock)
+            yield ArmedHandle(session, self._registry_lock)
         finally:
-            with self._lock:
+            with self._registry_lock:
                 restored = {
                     name: armed
                     for name, armed in self._armed.items()
@@ -399,14 +406,14 @@ class FailPointRegistry:
         triggers = parse_schedule(schedule, known_only=known_only)
         session = {site: _ArmedSite(site, trigger)
                    for site, trigger in triggers.items()}
-        with self._lock:
+        with self._registry_lock:
             merged = dict(self._armed)
             merged.update(session)
             self._armed = merged
-        return ArmedHandle(session, self._lock)
+        return ArmedHandle(session, self._registry_lock)
 
     def disarm_all(self) -> None:
-        with self._lock:
+        with self._registry_lock:
             self._armed = {}
 
 

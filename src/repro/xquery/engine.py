@@ -7,11 +7,11 @@ the roots of every document in the collection, in collection order.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
+from repro.analysis.concurrency import guarded_by, make_lock
 from repro.errors import XQueryEvaluationError
 from repro.xquery import functions
 from repro.xquery.ast import (
@@ -445,6 +445,7 @@ def _evaluate_quantified(expression: Quantified,
     return [_evaluate_every(expression, context)]
 
 
+@guarded_by("self._lru_lock", "_entries")
 class _IndexLRU:
     """Bounded LRU cache for value indexes.
 
@@ -462,7 +463,7 @@ class _IndexLRU:
     ``OrderedDict``.
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses", "_lock")
+    __slots__ = ("capacity", "_entries", "hits", "misses", "_lru_lock")
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = capacity
@@ -470,10 +471,10 @@ class _IndexLRU:
             OrderedDict()
         self.hits = 0
         self.misses = 0
-        self._lock = threading.Lock()
+        self._lru_lock = make_lock("xquery.index_cache")
 
     def get(self, key: tuple) -> "dict[tuple, list] | None":
-        with self._lock:
+        with self._lru_lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
@@ -483,20 +484,20 @@ class _IndexLRU:
             return entry
 
     def put(self, key: tuple, value: "dict[tuple, list]") -> None:
-        with self._lock:
+        with self._lru_lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        with self._lock:
+        with self._lru_lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
 
     def __len__(self) -> int:
-        with self._lock:
+        with self._lru_lock:
             return len(self._entries)
 
 

@@ -23,8 +23,9 @@ rules (untyped atomics match both their string and numeric readings).
 
 from __future__ import annotations
 
-import threading
 from typing import Callable
+
+from repro.analysis.concurrency import make_lock
 
 from repro.xquery.ast import (
     AxisStep,
@@ -158,11 +159,12 @@ def index_dependencies(expression: Expression) -> frozenset[str] | None:
 
 
 _MISSING = object()
-_DEPENDENCY_CACHE: dict[Expression, frozenset[str] | None] = {}
+_DEPENDENCY_CACHE: dict[Expression, frozenset[str] | None] = \
+    {}  # guarded-by: _DEPENDENCY_LOCK
 #: the analysis caches are process-global and hit by concurrent readers
 #: (see repro.service); dict mutation is guarded, recomputation is
 #: idempotent so it may race outside the lock
-_DEPENDENCY_LOCK = threading.Lock()
+_DEPENDENCY_LOCK = make_lock("xquery.dependency_cache")
 
 _UNBOUNDED_NODETESTS = {"*", "node()", "position()"}
 _UNBOUNDED_FUNCTIONS = {"position", "last"}
@@ -459,8 +461,8 @@ class JoinPlan:
         return quantifier_vars == {name}
 
 
-_PLAN_CACHE: dict[Quantified, JoinPlan] = {}
-_PLAN_LOCK = threading.Lock()
+_PLAN_CACHE: dict[Quantified, JoinPlan] = {}  # guarded-by: _PLAN_LOCK
+_PLAN_LOCK = make_lock("xquery.plan_cache")
 
 
 def plan_for(quantified: Quantified) -> JoinPlan:

@@ -61,6 +61,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.analysis.concurrency import make_lock
 from repro.errors import XQueryEvaluationError
 from repro.testing.failpoints import fail
 from repro.xquery import engine, functions
@@ -178,8 +179,8 @@ def without_columns():
 #: tag → expected element count from DTD cardinality bounds; consulted
 #: only when the live count is zero (empty/cold documents), so it can
 #: only ever influence plan *order*, never a verdict
-_PRIORS: dict[str, float] = {}
-_PRIORS_LOCK = threading.Lock()
+_PRIORS: dict[str, float] = {}  # guarded-by: _PRIORS_LOCK
+_PRIORS_LOCK = make_lock("planner.priors")
 
 
 def install_priors(priors: dict[str, float]) -> None:
@@ -1561,16 +1562,18 @@ class _PlanEntry:
             for reference, document in zip(self.documents, documents))
 
 
-_PLAN_LOCK = threading.Lock()
+_PLAN_LOCK = make_lock("planner.plan_cache")
 #: (query, document ids) → _PlanEntry; entries hold only *weak*
 #: document references — :meth:`_PlanEntry.matches` detects both dead
 #: referents and id-reuse aliasing, so stale entries are rebuilt
 #: instead of pinning document trees until LRU eviction
-_PLAN_LRU: "OrderedDict[tuple, _PlanEntry]" = OrderedDict()
+_PLAN_LRU: "OrderedDict[tuple, _PlanEntry]" = \
+    OrderedDict()  # guarded-by: _PLAN_LOCK
 _PLAN_CAPACITY = 64
 #: (query, strategy) → (truth closure, explain infos): compiled
 #: closures are document-independent and shared across plan entries
-_COMPILED: "OrderedDict[tuple, tuple[TruthClosure, list]]" = OrderedDict()
+_COMPILED: "OrderedDict[tuple, tuple[TruthClosure, list]]" = \
+    OrderedDict()  # guarded-by: _PLAN_LOCK
 _COMPILED_CAPACITY = 512
 
 

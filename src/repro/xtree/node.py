@@ -15,8 +15,13 @@ relies on (the Δ sets of section 5.1).
 
 from __future__ import annotations
 
-import threading
 from typing import Iterator
+
+from repro.analysis.concurrency import (
+    guarded_by,
+    make_rlock,
+    requires_lock,
+)
 
 
 class Node:
@@ -239,6 +244,9 @@ class Element(Node):
         return f"Element({self.tag!r}, id={self.node_id})"
 
 
+@guarded_by("self._lock", "_next_id", "_nodes_by_id", "_elements_by_tag",
+            "_tag_revisions", "_tag_order_cache", "_tag_stats_cache",
+            "_mutation_listeners")
 class Document:
     """An XML document: a root element plus the node-identity machinery.
 
@@ -268,7 +276,7 @@ class Document:
         #: this lock only makes the *derived* index state — lazy
         #: document-order fills, revision reads — safe for concurrent
         #: readers.  Reentrant: adopt() allocates ids under the lock.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("document")
         self.root = root
         self._next_id = 1
         self._nodes_by_id: dict[int, Node] = {}
@@ -304,6 +312,7 @@ class Document:
         with self._lock:
             self._adopt_locked(node)
 
+    @requires_lock("self._lock")
     def _adopt_locked(self, node: Node) -> None:
         self.revision += 1
         stack = [node]
@@ -337,6 +346,7 @@ class Document:
         with self._lock:
             self._orphan_locked(node, parent)
 
+    @requires_lock("self._lock")
     def _orphan_locked(self, node: Node,
                        parent: "Element | None" = None) -> None:
         self.revision += 1
@@ -362,12 +372,14 @@ class Document:
 
     # -- element-by-tag index ------------------------------------------------
 
+    @requires_lock("self._lock")
     def _index_element(self, element: Element) -> None:
         assert element.node_id is not None
         self._elements_by_tag.setdefault(
             element.tag, {})[element.node_id] = element
         self._bump_tag(element.tag)
 
+    @requires_lock("self._lock")
     def _bump_tag(self, tag: str) -> None:
         self._tag_revisions[tag] = self._tag_revisions.get(tag, 0) + 1
         self._tag_order_cache.pop(tag, None)
@@ -470,15 +482,22 @@ class Document:
             return node_id
 
     def node_by_id(self, node_id: int) -> Node | None:
-        """Look up a currently attached node by identifier."""
-        return self._nodes_by_id.get(node_id)
+        """Look up a currently attached node by identifier.
+
+        Deliberately lock-free: a single dict read is atomic under the
+        GIL, and callers only probe ids they obtained from a consistent
+        snapshot — at worst a concurrently detached node reads as
+        ``None``, which is the correct answer for it.
+        """
+        return self._nodes_by_id.get(node_id)  # lock: ignore
 
     def iter_elements(self, tag: str | None = None) -> Iterator[Element]:
         """Yield all elements of the document in document order."""
         return self.root.iter_elements(tag)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Document(root={self.root.tag!r}, nodes={len(self._nodes_by_id)})"
+        nodes = len(self._nodes_by_id)  # lock: ignore
+        return f"Document(root={self.root.tag!r}, nodes={nodes})"
 
 
 def _document_order_key(element: Element) -> tuple[int, ...]:

@@ -15,10 +15,10 @@ exact pre-call state.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.analysis.concurrency import make_lock
 from repro.errors import AmbiguousSelectError, UpdateApplicationError
 from repro.testing.failpoints import fail
 from repro.xquery.ast import Expression, Literal, PathExpr
@@ -154,9 +154,10 @@ class TransactionLog:
 #: parsing them per operation is the last run-time lexing the guard
 #: would otherwise do.  Lock-protected: concurrent readers of a shared
 #: DocumentStore resolve selects outside the writer lock.
-_SELECT_CACHE: "OrderedDict[str, Expression]" = OrderedDict()
+_SELECT_CACHE: "OrderedDict[str, Expression]" = \
+    OrderedDict()  # guarded-by: _SELECT_CACHE_LOCK
 _SELECT_CACHE_CAPACITY = 512
-_SELECT_CACHE_LOCK = threading.Lock()
+_SELECT_CACHE_LOCK = make_lock("xupdate.select_cache")
 
 
 def parsed_select(select: str) -> Expression:

@@ -1,0 +1,164 @@
+"""Direct unit tests for :class:`repro.service.locks.ReadWriteLock`:
+writer preference, reader re-entry, misuse errors, and a timeout'd
+no-deadlock smoke over a seeded mixed workload."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.service.locks import ReadWriteLock
+
+JOIN_TIMEOUT = 30.0
+
+
+def _join(*threads: threading.Thread) -> None:
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+        assert not thread.is_alive(), f"{thread.name} wedged"
+
+
+def test_concurrent_readers_share_the_lock():
+    lock = ReadWriteLock()
+    inside = threading.Barrier(3, timeout=JOIN_TIMEOUT)
+
+    def reader() -> None:
+        with lock.read_locked():
+            inside.wait()  # all three inside the read side at once
+
+    threads = [threading.Thread(target=reader, name=f"reader-{index}")
+               for index in range(3)]
+    for thread in threads:
+        thread.start()
+    _join(*threads)
+
+
+def test_writer_preference_blocks_new_readers():
+    """A waiting writer must (a) get the lock as soon as current
+    readers drain and (b) hold back readers that arrive after it."""
+    lock = ReadWriteLock()
+    events = {name: threading.Event()
+              for name in ("writer_waiting", "writer_in", "writer_out",
+                           "late_reader_in")}
+    order: list = []
+
+    lock.acquire_read()  # the reader the writer has to wait out
+
+    def writer() -> None:
+        events["writer_waiting"].set()
+        with lock.write_locked():
+            order.append("writer")
+            events["writer_in"].set()
+        events["writer_out"].set()
+
+    def late_reader() -> None:
+        # arrives while the writer is queued: preference says it waits
+        with lock.read_locked():
+            order.append("late-reader")
+            events["late_reader_in"].set()
+
+    writer_thread = threading.Thread(target=writer, name="writer")
+    writer_thread.start()
+    assert events["writer_waiting"].wait(timeout=JOIN_TIMEOUT)
+    # give the writer a beat to actually queue on the condition
+    while lock._writers_waiting == 0:  # noqa: SLF001 - test peeks
+        pass
+
+    reader_thread = threading.Thread(target=late_reader,
+                                     name="late-reader")
+    reader_thread.start()
+    assert not events["late_reader_in"].wait(timeout=0.2), \
+        "reader overtook a waiting writer"
+    assert not events["writer_in"].is_set(), \
+        "writer got in past an active reader"
+
+    lock.release_read()
+    assert events["writer_in"].wait(timeout=JOIN_TIMEOUT)
+    _join(writer_thread, reader_thread)
+    assert order == ["writer", "late-reader"]
+
+
+def test_reader_reentry_same_thread_uncontended():
+    """Nested read acquisition from one thread works while no writer
+    is queued (readers share, so the second acquire is just another
+    reader).  The lock documents that this is *not* safe under writer
+    contention — preference would deadlock the inner acquire — which
+    is exactly why an armed sanitizer rejects the re-entry outright."""
+    from repro.analysis.concurrency import sanitizer
+
+    lock = ReadWriteLock()
+    if lock._sanitized:  # noqa: SLF001 - armed CI leg
+        with lock.read_locked():
+            with pytest.raises(sanitizer.LockOrderViolation):
+                lock.acquire_read()
+        sanitizer.clear_violations()
+        return
+    with lock.read_locked():
+        with lock.read_locked():
+            assert lock._readers == 2  # noqa: SLF001 - test peeks
+    assert lock._readers == 0  # noqa: SLF001
+
+
+@pytest.mark.parametrize("release", ["release_read", "release_write"])
+def test_release_without_acquire_raises_and_keeps_state(release):
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError, match="without"):
+        getattr(lock, release)()
+    # state must be intact: the error fired before any bookkeeping
+    assert lock._readers == 0  # noqa: SLF001 - test peeks
+    assert not lock._writer_active  # noqa: SLF001
+    # and the lock must remain usable on both sides
+    with lock.read_locked():
+        pass
+    with lock.write_locked():
+        pass
+
+
+def test_release_read_underflow_after_real_use():
+    """One acquire supports exactly one release; the second raises and
+    never drives the reader count negative (the corruption mode the
+    check-before-decrement guards against)."""
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    assert lock._readers == 0  # noqa: SLF001 - test peeks
+    with lock.write_locked():  # a phantom reader would wedge this
+        pass
+
+
+@pytest.mark.slow
+def test_mixed_workload_no_deadlock_smoke():
+    """Seeded reader/writer churn: every thread must finish within the
+    join timeout, and the shared counter must reflect every write
+    (exclusivity) while readers only ever observe settled values."""
+    lock = ReadWriteLock()
+    rng = random.Random(20060328)
+    plans = [[rng.random() < 0.25 for _ in range(60)]
+             for _ in range(6)]
+    state = {"value": 0}
+    writes_expected = sum(sum(plan) for plan in plans)
+    torn_reads: list = []
+
+    def worker(plan) -> None:
+        for is_write in plan:
+            if is_write:
+                with lock.write_locked():
+                    current = state["value"]
+                    state["value"] = current + 1
+            else:
+                with lock.read_locked():
+                    if state["value"] != state["value"]:
+                        torn_reads.append(state["value"])
+
+    threads = [threading.Thread(target=worker, args=(plan,),
+                                name=f"churn-{index}")
+               for index, plan in enumerate(plans)]
+    for thread in threads:
+        thread.start()
+    _join(*threads)
+    assert state["value"] == writes_expected
+    assert torn_reads == []
