@@ -3,7 +3,8 @@ BENCH_SIZES ?= 32,64,128
 
 .PHONY: install test bench bench-smoke bench-planner \
 	bench-planner-smoke bench-columnar bench-columnar-smoke \
-	examples lint lint-concurrency stress faultcheck clean
+	examples lint lint-concurrency stress faultcheck \
+	faultcheck-restart clean
 
 # fault-injection matrix: seeds x named schedules, each run asserting
 # the crash-consistency invariant battery (see docs/testing.md)
@@ -106,6 +107,15 @@ faultcheck:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) -m repro.cli faultcheck $(FAULTCHECK_SEEDS) \
 		--ops $(FAULTCHECK_OPS) --repro-file FAULTCHECK_REPRO.txt
+
+# kill-at-failpoint restart matrix: the durable service dies at each
+# instrumented seam, restarts from snapshot + write-ahead log, and the
+# recovered state is checked against the sequential oracle
+faultcheck-restart:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m repro.cli faultcheck --crash-restart \
+		$(FAULTCHECK_SEEDS) --ops $(FAULTCHECK_OPS) \
+		--repro-file FAULTCHECK_REPRO.txt
 
 examples:
 	$(PYTHON) examples/quickstart.py

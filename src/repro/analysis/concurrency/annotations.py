@@ -46,6 +46,7 @@ _T = TypeVar("_T")
 LOCK_ORDER: tuple[str, ...] = (
     "service.store",          # DocumentStore reader–writer lock
     "document",               # Document._lock (per-document RLock)
+    "service.persistence",    # DurableLog file/sequence lock
     "core.update_cache",      # guard._UPDATE_CACHE_LOCK
     "xupdate.select_cache",   # apply._SELECT_CACHE_LOCK
     "xquery.index_cache",     # engine._IndexLRU._lru_lock

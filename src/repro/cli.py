@@ -11,7 +11,9 @@ A thin front-end over the library for shell use:
 * ``shred``    — print the relational facts of a document;
 * ``query``    — evaluate an XQuery expression over documents;
 * ``lint``     — run the compile-time analysis passes and report
-  ``XICnnn`` diagnostics (text or JSON) without touching documents.
+  ``XICnnn`` diagnostics (text or JSON) without touching documents;
+* ``recover``  — rebuild a durable checking service from its state
+  directory (snapshot + write-ahead log) and report what replay did.
 
 Constraints are given one per ``--constraint`` (inline text) or via
 ``--constraints-file`` (one denial per non-empty line; ``#`` comments;
@@ -197,12 +199,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.count_at_least(threshold) else 0
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.service.store import CheckingService
+
+    schema = _build_schema(args)
+    service = CheckingService.recover(schema, args.state_dir)
+    try:
+        info = service.last_recovery
+        assert info is not None
+        committed = service.committed_updates()
+        print(f"recovered {args.state_dir}: snapshot through sequence "
+              f"{info.snapshot_lsn}, {info.replayed} of "
+              f"{info.total_records} logged updates replayed, "
+              f"{len(committed)} updates in the commit log")
+        violated = service.verify_consistency()
+        if violated:
+            print("INCONSISTENT; violated constraints: "
+                  + ", ".join(violated))
+            return 1
+        print("consistent")
+        if args.checkpoint:
+            service.checkpoint()
+            print("checkpoint written (replay tail is now empty)")
+        return 0
+    finally:
+        service.close()
+
+
 def cmd_faultcheck(args: argparse.Namespace) -> int:
     from repro.testing.failpoints import SITES
     from repro.testing.harness import (
+        RESTART_SITES,
         SCHEDULES,
         InvariantViolation,
         run_matrix,
+        run_restart_matrix,
     )
 
     if args.list_sites:
@@ -216,9 +247,21 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     seeds = args.seed or [1, 2, 3]
     schedules = args.schedule or list(SCHEDULES)
     try:
-        reports = run_matrix(
-            seeds, schedules, ops=args.ops,
-            progress=lambda report: print(f"ok: {report.summary()}"))
+        if args.crash_restart:
+            sites = args.site or sorted(RESTART_SITES)
+            reports = run_restart_matrix(
+                seeds, sites, ops=args.ops,
+                progress=lambda report: print(
+                    f"ok: {report.summary()}"))
+        else:
+            if args.site:
+                print("error: --site requires --crash-restart",
+                      file=sys.stderr)
+                return 2
+            reports = run_matrix(
+                seeds, schedules, ops=args.ops,
+                progress=lambda report: print(
+                    f"ok: {report.summary()}"))
     except ValueError as error:  # bad schedule/trigger spec
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -244,8 +287,14 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
         return 1
     total = sum(report.faults_fired for report in reports)
     armed = " (lock sanitizer armed)" if sanitizer.armed() else ""
+    if args.crash_restart:
+        shape = (f"{len(seeds)} seeds x "
+                 f"{len(reports) // max(1, len(seeds))} kill sites, "
+                 "restart-and-replay")
+    else:
+        shape = f"{len(seeds)} seeds x {len(schedules)} schedules"
     print(f"faultcheck passed: {len(reports)} scenarios "
-          f"({len(seeds)} seeds x {len(schedules)} schedules), "
+          f"({shape}), "
           f"{total} faults fired, all invariants held{armed}")
     return 0
 
@@ -394,12 +443,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--repro-file",
         help="on failure, write the reproduction command to this file")
     faultcheck.add_argument(
+        "--crash-restart", action="store_true",
+        help="run the kill-at-failpoint restart matrix instead: the "
+             "durable service dies at each site, restarts from its "
+             "snapshot + write-ahead log, and the recovered state is "
+             "verified against a sequential oracle")
+    faultcheck.add_argument(
+        "--site", action="append",
+        help="kill site for --crash-restart (repeatable; default: "
+             "every site in RESTART_SITES)")
+    faultcheck.add_argument(
         "--list-sites", action="store_true",
         help="print the failpoint site catalog and exit")
     faultcheck.add_argument(
         "--list-schedules", action="store_true",
         help="print the named fault schedules and exit")
     faultcheck.set_defaults(handler=cmd_faultcheck)
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild a durable checking service from its state "
+             "directory and verify the recovered state")
+    _add_schema_arguments(recover)
+    recover.add_argument("--state-dir", required=True,
+                         help="directory holding snapshot.json + "
+                              "wal.log")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="write a fresh snapshot after recovery, "
+                              "emptying the replay tail")
+    recover.set_defaults(handler=cmd_recover)
 
     query = commands.add_parser(
         "query", help="evaluate an XQuery expression over documents")

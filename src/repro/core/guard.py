@@ -105,6 +105,8 @@ class _CheckerBase:
                     "could not be routed to a single document")
             self._documents_by_root[tag] = document
         self._listeners: list = []
+        self._pre_commit = None
+        self._pre_commit_abort = None
         # seed the check planner's cold-document estimates with the
         # schema's DTD cardinality bounds
         planner.install_priors(schema.cardinality_priors())
@@ -125,6 +127,47 @@ class _CheckerBase:
         for listener in self._listeners:
             listener(update, decision)
         return decision
+
+    def set_pre_commit(self, hook, abort=None) -> None:
+        """Register ``hook(update, decision)``, run for every *applied*
+        update after it is checked and applied into its transaction log
+        but before listeners run and the log commits.
+
+        This is the write-ahead seam: the durable service appends the
+        update to its commit log here, so an update a listener observes
+        as accepted is already on stable storage (log-then-apply).  An
+        exception from the hook aborts the update — the transaction log
+        rolls the in-memory application back and the exception
+        propagates to the submitter.  ``abort(update)``, when given, is
+        called if anything fails *after* the hook ran for an update
+        (the hook itself included), so the hook's external effects can
+        be reconciled with the rollback.
+        """
+        self._pre_commit = hook
+        self._pre_commit_abort = abort
+
+    def _commit_sequence(self, update: "str | Operation",
+                         decision: UpdateDecision,
+                         log: TransactionLog) -> UpdateDecision:
+        """Pre-commit hook → listeners → log commit, for one decided
+        update.  The ordering is load-bearing (see
+        :meth:`set_pre_commit`); on failure past the hook the abort
+        callback runs before the exception unwinds into the
+        transaction-log scope, which performs the in-memory rollback.
+        """
+        entered = False
+        try:
+            if decision.applied and self._pre_commit is not None:
+                entered = True
+                self._pre_commit(update, decision)
+            decision = self._notify(update, decision)
+            if decision.applied:
+                log.commit()
+            return decision
+        except BaseException:
+            if entered and self._pre_commit_abort is not None:
+                self._pre_commit_abort(update)
+            raise
 
     def _document_for(self, operation: Operation) -> Document:
         """The document a select path resolves in.
@@ -232,9 +275,10 @@ class BruteForceChecker(_CheckerBase):
                 return self._notify(update, UpdateDecision(
                     False, violated, optimized=False, applied=False,
                     rolled_back=True))
-            decision = self._notify(update, UpdateDecision(
-                True, optimized=False, applied=True))
-            log.commit()
+            decision = self._commit_sequence(
+                update,
+                UpdateDecision(True, optimized=False, applied=True),
+                log)
         return decision
 
     def check_only(self) -> list[str]:
@@ -256,9 +300,7 @@ class IntegrityGuard(_CheckerBase):
         operations = self._operations(update)
         with TransactionLog() as log:
             decision = self._decide(operations, log)
-            decision = self._notify(update, decision)
-            if decision.applied:
-                log.commit()
+            decision = self._commit_sequence(update, decision, log)
         return decision
 
     def check_batch(
@@ -281,10 +323,10 @@ class IntegrityGuard(_CheckerBase):
                 records: list = []
                 with TransactionLog() as log:
                     decision = self._decide(operations, log)
-                    decision = self._notify(update, decision)
+                    decision = self._commit_sequence(
+                        update, decision, log)
                     if decision.applied:
                         records = log.records
-                        log.commit()
                 # repair indexes only after the log has settled: a
                 # rejected update's rollback happens on context exit
                 try:

@@ -119,3 +119,10 @@ class IntegrityViolationError(ReproError):
         self.violations = list(violations)
         super().__init__(
             "update rejected; violated constraints: " + ", ".join(violations))
+
+
+class RecoveryError(ReproError):
+    """Durable state under a service directory cannot be opened or
+    replayed: missing/corrupt snapshot, a write-ahead log whose record
+    sequence is discontinuous, or a logged update the checker no longer
+    accepts on replay."""

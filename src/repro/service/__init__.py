@@ -1,13 +1,18 @@
 """Thread-safe service layer over the run-time checkers.
 
 The checkers in :mod:`repro.core` are correct for one caller at a
-time; this package makes them safe to share:
+time; this package makes them safe to share — and safe to kill:
 
 * :class:`ReadWriteLock` — writer-preferring reader–writer lock;
 * :class:`DocumentStore` — the document collection behind one lock;
 * :class:`CheckingService` — the façade serving updates (serialized)
   and read-only checks (concurrent), with a commit log whose
-  sequential replay reproduces the store's exact state.
+  sequential replay reproduces the store's exact state;
+* :mod:`repro.service.persistence` — the durable form of that commit
+  log: a write-ahead log fsync'd before each update commits, atomic
+  snapshots, and restart-and-replay recovery
+  (:meth:`CheckingService.open_durable` /
+  :meth:`CheckingService.recover`).
 
 Together with the :class:`~repro.xupdate.apply.TransactionLog` that
 makes every update all-or-nothing, this is the robustness layer the
@@ -15,10 +20,18 @@ scaling work (sharding, batching, async) builds on.
 """
 
 from repro.service.locks import ReadWriteLock
+from repro.service.persistence import (
+    DurableLog,
+    Snapshot,
+    WalRecord,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.service.store import (
     CheckingService,
     CommittedUpdate,
     DocumentStore,
+    RecoveryInfo,
 )
 
 __all__ = [
@@ -26,4 +39,10 @@ __all__ = [
     "CheckingService",
     "CommittedUpdate",
     "DocumentStore",
+    "DurableLog",
+    "RecoveryInfo",
+    "Snapshot",
+    "WalRecord",
+    "load_snapshot",
+    "write_snapshot",
 ]

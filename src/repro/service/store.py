@@ -16,22 +16,45 @@ The service also keeps a *commit log* — the updates that were actually
 applied, in commit order — which makes the final state reproducible by
 a sequential replay (the oracle the concurrency stress tests check
 against, and the natural hook for future replication/sharding layers).
+
+Opened through :meth:`CheckingService.open_durable`, the commit log is
+additionally *write-ahead durable*: every accepted update is appended
+to an fsync'd on-disk log (:mod:`repro.service.persistence`) before it
+commits in memory, periodic snapshots bound the replay tail, and
+:meth:`CheckingService.recover` rebuilds the exact pre-crash state by
+loading the latest snapshot and re-checking the logged tail through
+the checker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.analysis.concurrency import guarded_by, requires_lock
 from repro.core.guard import IntegrityGuard, UpdateDecision, _CheckerBase
 from repro.core.schema import ConstraintSchema
-from repro.errors import IntegrityViolationError, SchemaError
+from repro.errors import (
+    IntegrityViolationError,
+    RecoveryError,
+    SchemaError,
+)
 from repro.service.locks import ReadWriteLock
+from repro.service.persistence import (
+    SNAPSHOT_NAME,
+    WAL_NAME,
+    DurableLog,
+    Snapshot,
+    WalRecord,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.testing.failpoints import fail
 from repro.xtree.node import Document
+from repro.xtree.parser import parse_document
 from repro.xtree.serializer import serialize
-from repro.xupdate.parser import Operation
+from repro.xupdate.parser import Operation, canonical_update_text
 
 
 @guarded_by("self.lock", "_documents")
@@ -93,7 +116,20 @@ class CommittedUpdate:
     decision: UpdateDecision
 
 
-@guarded_by("self.store.lock", "_committed")
+@dataclass(frozen=True)
+class RecoveryInfo:
+    """What :meth:`CheckingService.recover` did to reach the state."""
+
+    #: sequence number the snapshot was current through (exclusive)
+    snapshot_lsn: int
+    #: WAL tail records re-checked and re-applied on top of the snapshot
+    replayed: int
+    #: total live WAL records after torn-tail truncation
+    total_records: int
+
+
+@guarded_by("self.store.lock",
+            "_committed", "_pending_mark", "_last_snapshot_lsn")
 class CheckingService:
     """Thread-safe façade over a run-time checker.
 
@@ -109,11 +145,28 @@ class CheckingService:
                  checker_factory: Callable[..., _CheckerBase]
                  = IntegrityGuard) -> None:
         if isinstance(documents, DocumentStore):
+            # the store may already be shared with running threads, and
+            # the checker factory walks the document list (root-tag
+            # routing, column-store attachment) — hold the read lock
+            # for the whole walk, not just the property access
             self.store = documents
+            with self.store.read_locked():
+                self.checker = checker_factory(
+                    schema, self.store.documents)
         else:
             self.store = DocumentStore(documents)
-        self.checker = checker_factory(schema, self.store.documents)
+            # construction: the fresh store is not shared yet
+            self.checker = checker_factory(
+                schema, self.store.documents)  # lock: ignore
         self._committed: list[CommittedUpdate] = []
+        self._durable: "DurableLog | None" = None
+        self._state_dir: "Path | None" = None
+        self._durable_sync = True
+        self._snapshot_interval = 0
+        self._last_snapshot_lsn = 0
+        self._pending_mark: "tuple[int, int] | None" = None
+        #: populated by :meth:`recover` on recovered instances
+        self.last_recovery: "RecoveryInfo | None" = None
 
     @classmethod
     def from_checker(cls, checker: _CheckerBase) -> "CheckingService":
@@ -127,7 +180,244 @@ class CheckingService:
         service.checker = checker
         # construction: the service is not shared with any thread yet
         service._committed = []  # lock: ignore
+        service._durable = None
+        service._state_dir = None
+        service._durable_sync = True
+        service._snapshot_interval = 0
+        service._last_snapshot_lsn = 0  # lock: ignore
+        service._pending_mark = None  # lock: ignore
+        service.last_recovery = None
         return service
+
+    # -- durability ----------------------------------------------------------
+
+    @classmethod
+    def open_durable(cls, schema: ConstraintSchema,
+                     documents: "Iterable[Document] | DocumentStore",
+                     state_dir: "str | Path", *,
+                     checker_factory: Callable[..., _CheckerBase]
+                     = IntegrityGuard,
+                     snapshot_interval: int = 64,
+                     sync: bool = True) -> "CheckingService":
+        """Open a durable service rooted at ``state_dir``.
+
+        When the directory already holds durable state (a snapshot or
+        a write-ahead log) this is exactly :meth:`recover` — the
+        ``documents`` argument is ignored in favour of the recovered
+        state.  Otherwise the given documents become the initial state:
+        a baseline snapshot is installed *before* the first update can
+        commit, so a crash at any later point always finds a snapshot
+        to recover from.
+        """
+        state_dir = Path(state_dir)
+        if (state_dir / SNAPSHOT_NAME).exists() \
+                or (state_dir / WAL_NAME).exists():
+            return cls.recover(
+                schema, state_dir, checker_factory=checker_factory,
+                snapshot_interval=snapshot_interval, sync=sync)
+        service = cls(schema, documents, checker_factory)
+        write_snapshot(state_dir, 0, service.store.snapshot(),
+                       sync=sync)
+        wal = DurableLog(state_dir / WAL_NAME, sync=sync)
+        service._attach_durable(state_dir, wal, snapshot_interval,
+                                sync, last_snapshot_lsn=0)
+        return service
+
+    @classmethod
+    def recover(cls, schema: ConstraintSchema,
+                state_dir: "str | Path", *,
+                checker_factory: Callable[..., _CheckerBase]
+                = IntegrityGuard,
+                snapshot_interval: int = 64,
+                sync: bool = True) -> "CheckingService":
+        """Rebuild a durable service from ``state_dir`` after a crash.
+
+        Loads the latest valid snapshot, opens the write-ahead log
+        (truncating any torn trailing record), and replays every
+        record with ``seq >= snapshot.lsn`` through the checker —
+        re-checking it, so tampered logs cannot smuggle an illegal
+        update in.  Replay is idempotent: a crash during recovery
+        leaves snapshot and log unchanged, and a retry succeeds.
+        """
+        state_dir = Path(state_dir)
+        snapshot = load_snapshot(state_dir)
+        if snapshot is None:
+            raise RecoveryError(
+                f"no snapshot under {state_dir}; the directory holds "
+                "no recoverable durable state")
+        wal = DurableLog(state_dir / WAL_NAME, sync=sync)
+        try:
+            service = cls._recover(
+                schema, snapshot, wal, checker_factory)
+        except BaseException:
+            wal.close()
+            raise
+        service._attach_durable(state_dir, wal, snapshot_interval,
+                                sync,
+                                last_snapshot_lsn=snapshot.lsn)
+        return service
+
+    @classmethod
+    def _recover(cls, schema: ConstraintSchema, snapshot: Snapshot,
+                 wal: DurableLog,
+                 checker_factory: Callable[..., _CheckerBase]
+                 ) -> "CheckingService":
+        """Snapshot + WAL tail → a service at the pre-crash state."""
+        records = wal.records()
+        if wal.next_seq < snapshot.lsn:
+            raise RecoveryError(
+                f"write-ahead log ends at sequence {wal.next_seq} but "
+                f"the snapshot is current through {snapshot.lsn}; the "
+                "log has lost fsync'd records")
+        documents = [parse_document(text)
+                     for text in snapshot.documents]
+        service = cls(schema, documents, checker_factory)
+        committed: list[CommittedUpdate] = []
+        replayed = 0
+        for record in records:
+            if record.seq < snapshot.lsn:
+                # already reflected in the snapshot: enters the commit
+                # log as history, not the checker
+                committed.append(CommittedUpdate(
+                    record.seq, record.text,
+                    UpdateDecision(True, applied=True)))
+                continue
+            fail.point("persistence.replay_record")
+            decision = service.checker.try_execute(record.text)
+            if not decision.applied:
+                raise RecoveryError(
+                    f"logged update {record.seq} is no longer "
+                    f"accepted on replay "
+                    f"(violated: {decision.violated}); the log or "
+                    "snapshot has been corrupted")
+            committed.append(CommittedUpdate(
+                record.seq, record.text, decision))
+            replayed += 1
+        # construction: the service is not shared with any thread yet
+        service._committed = committed  # lock: ignore
+        service.last_recovery = RecoveryInfo(
+            snapshot_lsn=snapshot.lsn, replayed=replayed,
+            total_records=len(records))
+        return service
+
+    def _attach_durable(self, state_dir: Path, wal: DurableLog,
+                        snapshot_interval: int, sync: bool, *,
+                        last_snapshot_lsn: int) -> None:
+        # construction: the service is not shared with any thread yet
+        self._state_dir = state_dir
+        self._durable = wal
+        self._durable_sync = sync
+        self._snapshot_interval = max(1, snapshot_interval)
+        self._last_snapshot_lsn = last_snapshot_lsn  # lock: ignore
+        self.checker.set_pre_commit(
+            self._durable_pre_commit, self._durable_abort)
+
+    @property
+    def durable(self) -> bool:
+        """True when a write-ahead log backs this service."""
+        return self._durable is not None
+
+    @requires_lock("self.store.lock")
+    def _durable_pre_commit(self, update: "str | Operation",
+                            decision: UpdateDecision) -> None:
+        """The write-ahead append (the checker's pre-commit hook).
+
+        Runs inside the checker's transactional scope for every update
+        it decided to apply, before listeners observe the decision and
+        before the in-memory commit: the fsync completing is the
+        commit point.  Any exception here aborts the update — the
+        checker rolls the in-memory application back and
+        :meth:`_durable_abort` reconciles the log.
+        """
+        wal = self._durable
+        assert wal is not None
+        self._pending_mark = (wal.next_seq, len(self._committed))
+        seq = wal.append(canonical_update_text(update))
+        try:
+            fail.point("persistence.post_append_pre_apply")
+        except BaseException:
+            # the record is durable but the update will never commit
+            # in this process: exactly the crash window recovery must
+            # close by replaying the trailing record
+            wal.mark_crashed()
+            raise
+        fail.point("service.store.pre_commit_append")
+        self._committed.append(
+            CommittedUpdate(seq, update, decision))
+
+    @requires_lock("self.store.lock")
+    def _durable_abort(self, update: "str | Operation") -> None:
+        """Reconcile the WAL with an update that aborted post-append.
+
+        Truncates the log and the in-memory commit log back to the
+        mark taken at hook entry — unless a simulated crash fired, in
+        which case the on-disk artifacts (a torn half-record, a
+        logged-but-unapplied record) are exactly what the restart
+        tests need and must survive untouched.
+        """
+        wal, mark = self._durable, self._pending_mark
+        self._pending_mark = None
+        if wal is None or mark is None or wal.crashed:
+            return
+        seq, committed_length = mark
+        wal.truncate_to_seq(seq)
+        del self._committed[committed_length:]
+
+    @requires_lock("self.store.lock")
+    def _maybe_snapshot(self) -> None:
+        wal = self._durable
+        if wal is None or wal.crashed:
+            return
+        if wal.next_seq - self._last_snapshot_lsn \
+                >= self._snapshot_interval:
+            self._checkpoint_locked()
+
+    @requires_lock("self.store.lock")
+    def _checkpoint_locked(self) -> None:
+        """Install a snapshot of the current state (writer lock held).
+
+        A fault at the rename seam is a simulated kill: the log is
+        marked crashed so the frozen process cannot diverge from the
+        on-disk state the restart will recover.
+        """
+        wal = self._durable
+        assert wal is not None and self._state_dir is not None
+        lsn = wal.next_seq
+        documents = [serialize(document)
+                     for document in self.store.documents]
+        try:
+            write_snapshot(self._state_dir, lsn, documents,
+                           sync=self._durable_sync)
+        except BaseException:
+            wal.mark_crashed()
+            raise
+        self._last_snapshot_lsn = lsn
+
+    def checkpoint(self) -> None:
+        """Snapshot the current state now, bounding the replay tail."""
+        with self.store.write_locked():
+            if self._durable is None:
+                raise RecoveryError(
+                    "service has no durable state to checkpoint")
+            self._checkpoint_locked()
+
+    def close(self) -> None:
+        """Release the write-ahead log's file handle.
+
+        Buffered bytes are flushed as-is — including the torn residue
+        of a simulated crash — matching what the page cache of a
+        killed process would expose to the recovering one.
+        """
+        with self.store.write_locked():
+            if self._durable is not None:
+                self._durable.close()
+
+    def wal_records(self) -> "list[WalRecord]":
+        """The live write-ahead records (empty for volatile services)."""
+        with self.store.read_locked():
+            if self._durable is None:
+                return []
+            return self._durable.records()
 
     # -- writers -------------------------------------------------------------
 
@@ -140,9 +430,14 @@ class CheckingService:
         with self.store.write_locked():
             decision = self.checker.try_execute(update)
             if decision.applied:
-                fail.point("service.store.pre_commit_append")
-                self._committed.append(CommittedUpdate(
-                    len(self._committed), update, decision))
+                if self._durable is None:
+                    fail.point("service.store.pre_commit_append")
+                    self._committed.append(CommittedUpdate(
+                        len(self._committed), update, decision))
+                else:
+                    # the durable pre-commit hook already logged and
+                    # appended inside the checker's transaction scope
+                    self._maybe_snapshot()
             return decision
 
     def execute(self, update: "str | Operation") -> UpdateDecision:
@@ -165,11 +460,15 @@ class CheckingService:
         """
         with self.store.write_locked():
             decisions = self.checker.check_batch(updates)
-            for update, decision in zip(updates, decisions):
-                if decision.applied:
-                    fail.point("service.store.pre_commit_append")
-                    self._committed.append(CommittedUpdate(
-                        len(self._committed), update, decision))
+            if self._durable is None:
+                for update, decision in zip(updates, decisions):
+                    if decision.applied:
+                        fail.point("service.store.pre_commit_append")
+                        self._committed.append(CommittedUpdate(
+                            len(self._committed), update, decision))
+            else:
+                # per-update logging happened in the pre-commit hook
+                self._maybe_snapshot()
             return decisions
 
     # -- readers -------------------------------------------------------------

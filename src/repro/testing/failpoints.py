@@ -151,6 +151,22 @@ SITES: dict[str, str] = {
     "columns.rebuild":
         "column store validation, before a dirty store rebuilds its "
         "materialized tables and indexes from the DOM",
+    "persistence.pre_fsync":
+        "DurableLog.append, between the record's first and last bytes "
+        "reaching the file and before fsync — the process dies with a "
+        "torn trailing record that recovery must truncate",
+    "persistence.post_append_pre_apply":
+        "durable pre-commit hook, after the WAL record is fsync'd and "
+        "before the update commits in memory — logged but never "
+        "applied; restart-and-replay must apply it",
+    "persistence.snapshot_rename":
+        "snapshot writer, after the temp file is written and fsync'd "
+        "and before the atomic rename installs it — the previous "
+        "snapshot stays current and the temp file is ignored",
+    "persistence.replay_record":
+        "recovery, before a WAL tail record is replayed through the "
+        "checker — recovery dies mid-replay and a retry must succeed "
+        "from the same snapshot and log",
 }
 
 

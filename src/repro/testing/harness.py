@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import random
 import shlex
+import shutil
+import tempfile
 import threading
 from dataclasses import dataclass, field, replace
 
@@ -59,6 +61,7 @@ from repro.testing.failpoints import fail, parse_schedule
 from repro.xtree.node import Document
 from repro.xtree.parser import parse_document
 from repro.xtree.serializer import serialize
+from repro.xupdate.parser import canonical_update_text
 from repro.xquery import planner
 
 
@@ -94,6 +97,9 @@ SCHEDULES: dict[str, str] = {
                  "columns.delta.settle=count:5;"
                  "columns.rebuild=count:1;"
                  "columns.batch.settle=count:1"),
+    "wal": "persistence.post_append_pre_apply=count:3",
+    "wal-torn": "persistence.pre_fsync=count:3",
+    "snapshot": "persistence.snapshot_rename=count:1",
     "chaos": ("xupdate.apply.pre_op=prob:0.05:11;"
               "xupdate.apply.post_op=prob:0.05:12;"
               "xupdate.rollback.pre=prob:0.03:13;"
@@ -423,15 +429,24 @@ def _run_oracle(seed: int, observed: list[tuple[str, bool]],
 
 def _check_commit_log(service: CheckingService,
                       accepted: list[str],
-                      report: FaultRunReport) -> None:
-    committed = [entry.update for entry in service.committed_updates()]
-    committed_texts = [u if isinstance(u, str) else str(u)
-                       for u in committed]
+                      report) -> None:
+    committed_texts = [canonical_update_text(entry.update)
+                       for entry in service.committed_updates()]
     if committed_texts == accepted:
         return
-    # a fault between the document commit and the log append may
-    # legitimately drop entries — but only ever *later* accepted
-    # entries, never reorderings or inventions
+    if service.durable:
+        # log-then-apply: the write-ahead append happens *before* the
+        # listener observes the decision, so the commit log must be
+        # exactly the accepted sequence — the applied-but-unlogged
+        # window of the volatile path does not exist
+        raise _violation(
+            report, "commit-log",
+            "durable commit log diverged from the accepted sequence: "
+            f"{len(committed_texts)} committed vs "
+            f"{len(accepted)} accepted")
+    # volatile path: a fault between the document commit and the log
+    # append may legitimately drop entries — but only ever *later*
+    # accepted entries, never reorderings or inventions
     it = iter(accepted)
     for text in committed_texts:
         for candidate in it:
@@ -449,9 +464,12 @@ def run_scenario(seed: int, schedule: "str | dict" = "chaos",
     """One fault-injection scenario: workload, faults, invariants.
 
     ``schedule`` is a :data:`SCHEDULES` name or a raw failpoint spec
-    (``"site=trigger;..."`` or a dict).  Raises
-    :class:`InvariantViolation` when the battery fails; otherwise
-    returns the :class:`FaultRunReport`.
+    (``"site=trigger;..."`` or a dict).  Schedules that arm a
+    ``persistence.*`` site run against a *durable* service (write-ahead
+    log and snapshots in a scratch directory) and additionally verify
+    that a post-workload recovery reproduces a state consistent with
+    its own commit log.  Raises :class:`InvariantViolation` when the
+    battery fails; otherwise returns the :class:`FaultRunReport`.
     """
     if isinstance(schedule, str) and schedule in SCHEDULES:
         name, spec_text = schedule, SCHEDULES[schedule]
@@ -461,12 +479,31 @@ def run_scenario(seed: int, schedule: "str | dict" = "chaos",
         name = ";".join(f"{k}={v}" for k, v in schedule.items())
         spec_text = name
     spec = parse_schedule(spec_text)
+    durable = any(site.startswith("persistence.") for site in spec)
 
     planner.clear_caches()
     schema = make_schema()
     pub_doc, rev_doc = _fresh_corpus(seed)
-    service = CheckingService(schema, [pub_doc, rev_doc])
+    state_dir = None
+    if durable:
+        state_dir = tempfile.mkdtemp(prefix="repro-faultcheck-")
+        service = CheckingService.open_durable(
+            schema, [pub_doc, rev_doc], state_dir,
+            snapshot_interval=8)
+    else:
+        service = CheckingService(schema, [pub_doc, rev_doc])
+    try:
+        return _run_scenario_body(
+            seed, name, spec_text, spec, ops, service, state_dir)
+    finally:
+        if state_dir is not None:
+            service.close()
+            shutil.rmtree(state_dir, ignore_errors=True)
 
+
+def _run_scenario_body(seed: int, name: str, spec_text: str,
+                       spec, ops: int, service: CheckingService,
+                       state_dir: "str | None") -> FaultRunReport:
     # the workload is generated against an untouched twin corpus so
     # faults cannot perturb which updates get generated
     _, rev_twin = _fresh_corpus(seed)
@@ -474,8 +511,8 @@ def run_scenario(seed: int, schedule: "str | dict" = "chaos",
     observed: list[tuple[str, bool]] = []
 
     def listener(update, decision) -> None:
-        text = update if isinstance(update, str) else str(update)
-        observed.append((text, decision.applied))
+        observed.append(
+            (canonical_update_text(update), decision.applied))
 
     service.subscribe(listener)
 
@@ -549,7 +586,58 @@ def run_scenario(seed: int, schedule: "str | dict" = "chaos",
             f"cold check on the same state reports {cold_violations!r}")
 
     _check_commit_log(service, accepted_texts, report)
+
+    if state_dir is not None:
+        _check_durable_recovery(service, state_dir, accepted_texts,
+                                seed, report)
     return report
+
+
+def _check_durable_recovery(service: CheckingService, state_dir: str,
+                            accepted: list[str], seed: int,
+                            report) -> None:
+    """Recovery from the scratch directory must reproduce the state.
+
+    The recovered commit log must extend the accepted sequence by at
+    most the one trailing record a crash can leave logged-but-
+    unapplied, the recovered documents must equal a fault-free
+    sequential replay of that log, and the full constraint check must
+    be clean.
+    """
+    service.close()
+    recovered = CheckingService.recover(make_schema(), state_dir)
+    try:
+        texts = [canonical_update_text(entry.update)
+                 for entry in recovered.committed_updates()]
+        if texts[:len(accepted)] != accepted \
+                or len(texts) > len(accepted) + 1:
+            raise _violation(
+                report, "durable-recovery",
+                f"recovered commit log ({len(texts)} entries) is not "
+                f"the accepted sequence ({len(accepted)} entries) "
+                "plus at most one trailing logged-but-unapplied "
+                "record")
+        pub_doc, rev_doc = _fresh_corpus(seed)
+        oracle = BruteForceChecker(make_schema(), [pub_doc, rev_doc])
+        for position, text in enumerate(texts):
+            if not oracle.try_execute(text).applied:
+                raise _violation(
+                    report, "durable-recovery",
+                    f"recovered commit-log entry #{position} is "
+                    f"rejected by the fault-free oracle:\n{text}")
+        reference = [serialize(pub_doc), serialize(rev_doc)]
+        if recovered.snapshot() != reference:
+            raise _violation(
+                report, "durable-recovery",
+                "recovered store differs from the sequential replay "
+                f"of its own {len(texts)}-entry commit log")
+        violations = recovered.verify_consistency()
+        if violations:
+            raise _violation(
+                report, "durable-recovery",
+                f"recovered store violates constraints: {violations}")
+    finally:
+        recovered.close()
 
 
 def run_matrix(seeds: "list[int]", schedules: "list[str]",
@@ -560,6 +648,240 @@ def run_matrix(seeds: "list[int]", schedules: "list[str]",
     for schedule in schedules:
         for seed in seeds:
             report = run_scenario(seed, schedule, ops=ops)
+            if progress is not None:
+                progress(report)
+            reports.append(report)
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# crash-restart harness
+# ---------------------------------------------------------------------------
+
+
+#: Kill sites for the restart matrix: each entry simulates the process
+#: dying at one seam (the trigger picks a mid-workload occurrence),
+#: after which :func:`run_restart_scenario` recovers from disk and
+#: asserts the recovered state.  ``persistence.replay_record`` is the
+#: recursive case — the crash happens *during recovery* and the retry
+#: must succeed from the same snapshot and log.
+RESTART_SITES: dict[str, str] = {
+    "persistence.pre_fsync": "count:3",
+    "persistence.post_append_pre_apply": "count:3",
+    "persistence.snapshot_rename": "count:1",
+    "persistence.replay_record": "count:2",
+    "service.store.pre_commit_append": "count:3",
+    "xupdate.apply.post_op": "count:5",
+    "core.guard.post_check": "count:4",
+}
+
+
+@dataclass
+class RestartRunReport:
+    """Everything one :func:`run_restart_scenario` call observed."""
+
+    seed: int
+    site: str
+    trigger: str
+    ops: int
+    accepted: int = 0
+    rejected: int = 0
+    errored: int = 0
+    faults_fired: int = 0
+    #: WAL tail records the final recovery replayed through the checker
+    replayed: int = 0
+    #: recovered commit-log entries beyond the listener-accepted prefix
+    extra_committed: int = 0
+
+    @property
+    def repro_command(self) -> str:
+        """Shell command that reruns this exact scenario."""
+        return (f"python -m repro faultcheck --crash-restart "
+                f"--seed {self.seed} --site {self.site} "
+                f"--ops {self.ops}")
+
+    def summary(self) -> str:
+        return (f"seed={self.seed} site={self.site} "
+                f"trigger={self.trigger} ops={self.ops}: "
+                f"{self.accepted} accepted, {self.rejected} rejected, "
+                f"{self.errored} errored, {self.faults_fired} faults "
+                f"fired, {self.replayed} replayed, "
+                f"{self.extra_committed} extra committed")
+
+
+def run_restart_scenario(seed: int, site: str,
+                         ops: int = 40) -> RestartRunReport:
+    """Kill the durable service at ``site``, restart, and verify.
+
+    Runs the standard workload against a durable service with the kill
+    site armed, treats the injected fault as the process dying (the
+    write-ahead log freezes itself at persistence seams), then
+    recovers from the on-disk state and asserts:
+
+    * the recovered commit log is the listener-accepted sequence plus
+      at most one trailing logged-but-unapplied record;
+    * the recovered documents are byte-identical to a fault-free
+      sequential oracle replay of that commit log;
+    * the full constraint check, the incremental tag indexes and the
+      column stores are clean on the recovered state;
+    * a second recovery from the same directory is deterministic
+      (byte-identical state and commit log);
+    * the recovered service still accepts new updates (liveness).
+    """
+    trigger = RESTART_SITES.get(site, "count:3")
+    report = RestartRunReport(seed=seed, site=site, trigger=trigger,
+                              ops=ops)
+    state_dir = tempfile.mkdtemp(prefix="repro-restart-")
+    try:
+        _run_restart_body(seed, site, trigger, ops, state_dir, report)
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+    return report
+
+
+def _run_restart_body(seed: int, site: str, trigger: str, ops: int,
+                      state_dir: str,
+                      report: RestartRunReport) -> None:
+    planner.clear_caches()
+    schema = make_schema()
+    pub_doc, rev_doc = _fresh_corpus(seed)
+    # the replay_record site fires during recovery, not the workload:
+    # build the pre-crash state fault-free with a wide-open snapshot
+    # interval so the WAL tail is long enough to die in the middle of
+    replay_site = site == "persistence.replay_record"
+    interval = 10 ** 6 if replay_site else 8
+    service = CheckingService.open_durable(
+        schema, [pub_doc, rev_doc], state_dir,
+        snapshot_interval=interval)
+
+    _, rev_twin = _fresh_corpus(seed)
+    observed: list[tuple[str, bool]] = []
+
+    def listener(update, decision) -> None:
+        observed.append(
+            (canonical_update_text(update), decision.applied))
+
+    service.subscribe(listener)
+    rng = random.Random(seed)
+    kinds = _weighted_kinds(rng, ops)
+
+    workload_spec = {} if replay_site else {site: trigger}
+    with fail.armed(workload_spec) as handle:
+        for kind in kinds:
+            step = _make_step(kind, rev_twin, rng)
+            try:
+                if step is None:
+                    service.verify_consistency()
+                elif isinstance(step, list):
+                    service.check_batch(step)
+                else:
+                    service.try_execute(step)
+            except Exception:  # noqa: BLE001 — faults are Exception
+                report.errored += 1
+        report.faults_fired = sum(
+            fires for _, (_, fires) in handle.counts().items())
+    service.close()
+
+    report.accepted = sum(1 for _, applied in observed if applied)
+    report.rejected = sum(1 for _, applied in observed if not applied)
+    accepted = [text for text, applied in observed if applied]
+
+    if replay_site:
+        # recovery itself dies at the armed site ...
+        with fail.armed({site: trigger}) as handle:
+            try:
+                crashed = CheckingService.recover(schema, state_dir)
+            except Exception:  # noqa: BLE001 — faults are Exception
+                pass
+            else:
+                crashed.close()
+                raise _violation(
+                    report, "restart-recovery",
+                    f"armed recovery at {site} completed without the "
+                    "fault firing")
+            report.faults_fired = sum(
+                fires for _, (_, fires) in handle.counts().items())
+        # ... and the retry must succeed from the same snapshot + log
+
+    recovered = CheckingService.recover(schema, state_dir)
+    try:
+        _check_recovered_state(recovered, accepted, seed, report)
+        first_snapshot = recovered.snapshot()
+        first_log = [canonical_update_text(entry.update)
+                     for entry in recovered.committed_updates()]
+    finally:
+        recovered.close()
+
+    # second recovery: determinism, then liveness on the result
+    again = CheckingService.recover(schema, state_dir)
+    try:
+        if again.snapshot() != first_snapshot or first_log != [
+                canonical_update_text(entry.update)
+                for entry in again.committed_updates()]:
+            raise _violation(
+                report, "restart-determinism",
+                "two recoveries from the same directory disagree")
+        probe = _pub_xupdate(
+            [f"Post Restart {seed}", f"Probe Author {seed}"])
+        decision = again.try_execute(probe)
+        if not decision.applied:
+            raise _violation(
+                report, "restart-liveness",
+                "recovered service rejected an always-legal update: "
+                f"{decision.violated}")
+    finally:
+        again.close()
+
+
+def _check_recovered_state(recovered: CheckingService,
+                           accepted: list[str], seed: int,
+                           report: RestartRunReport) -> None:
+    info = recovered.last_recovery
+    assert info is not None
+    report.replayed = info.replayed
+    texts = [canonical_update_text(entry.update)
+             for entry in recovered.committed_updates()]
+    report.extra_committed = len(texts) - len(accepted)
+    if texts[:len(accepted)] != accepted \
+            or len(texts) > len(accepted) + 1:
+        raise _violation(
+            report, "restart-commit-log",
+            f"recovered commit log ({len(texts)} entries) is not the "
+            f"accepted sequence ({len(accepted)} entries) plus at "
+            "most one trailing logged-but-unapplied record")
+    pub_doc, rev_doc = _fresh_corpus(seed)
+    oracle = BruteForceChecker(make_schema(), [pub_doc, rev_doc])
+    for position, text in enumerate(texts):
+        if not oracle.try_execute(text).applied:
+            raise _violation(
+                report, "restart-oracle",
+                f"recovered commit-log entry #{position} is rejected "
+                f"by the fault-free oracle:\n{text}")
+    if recovered.snapshot() != [serialize(pub_doc),
+                                serialize(rev_doc)]:
+        raise _violation(
+            report, "restart-oracle",
+            "recovered store differs from the sequential oracle "
+            f"replay of its own {len(texts)}-entry commit log")
+    violations = recovered.verify_consistency()
+    if violations:
+        raise _violation(
+            report, "restart-consistency",
+            f"recovered store violates constraints: {violations}")
+    _check_tag_indexes(recovered.store.documents, report)
+    _check_column_stores(recovered.store.documents, report)
+
+
+def run_restart_matrix(seeds: "list[int]",
+                       sites: "list[str] | None" = None,
+                       ops: int = 40,
+                       progress=None) -> list[RestartRunReport]:
+    """Run every (seed, kill-site) pair; raise on first violation."""
+    reports = []
+    for site in (sites if sites is not None
+                 else sorted(RESTART_SITES)):
+        for seed in seeds:
+            report = run_restart_scenario(seed, site, ops=ops)
             if progress is not None:
                 progress(report)
             reports.append(report)

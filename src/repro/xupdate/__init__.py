@@ -21,7 +21,10 @@ from repro.xupdate.parser import (
     InsertOperation,
     Operation,
     RemoveOperation,
+    canonical_update_text,
     parse_modifications,
+    serialize_operation,
+    serialize_operations,
 )
 from repro.xupdate.apply import (
     AppliedOperation,
@@ -39,7 +42,10 @@ __all__ = [
     "InsertOperation",
     "Operation",
     "RemoveOperation",
+    "canonical_update_text",
     "parse_modifications",
+    "serialize_operation",
+    "serialize_operations",
     "AppliedOperation",
     "TransactionLog",
     "apply_operation",

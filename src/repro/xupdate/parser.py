@@ -62,6 +62,63 @@ class RemoveOperation:
 
 Operation = Union[InsertOperation, RemoveOperation]
 
+_KIND_TAGS = {kind: tag for tag, kind in _INSERT_KINDS.items()}
+
+
+def _escape_select(value: str) -> str:
+    return (value.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace('"', "&quot;"))
+
+
+def serialize_operation(operation: Operation) -> str:
+    """Canonical XUpdate text of one parsed operation.
+
+    The output round-trips: ``parse_modifications(serialize_operation
+    (op))`` yields an operation with the same select, kind and content
+    tree, and applying either to twin documents produces identical
+    results.  This — not ``str(op)``, which is the dataclass repr — is
+    the canonical form the service commit log, the harness invariants
+    and the write-ahead record encoding all share.
+    """
+    return serialize_operations([operation])
+
+
+def serialize_operations(operations: "list[Operation]") -> str:
+    """Canonical XUpdate modification document for a whole sequence."""
+    if not operations:
+        raise XUpdateError("cannot serialize an empty operation list")
+    from repro.xtree.serializer import serialize_fragment
+    parts = ['<?xml version="1.0"?>',
+             '<xupdate:modifications version="1.0"',
+             '    xmlns:xupdate="http://www.xmldb.org/xupdate">']
+    for operation in operations:
+        if isinstance(operation, RemoveOperation):
+            parts.append(f'<xupdate:remove select='
+                         f'"{_escape_select(operation.select)}"/>')
+            continue
+        assert isinstance(operation, InsertOperation)
+        tag = f"xupdate:{_KIND_TAGS[operation.kind]}"
+        content = "".join(serialize_fragment(node)
+                          for node in operation.content)
+        parts.append(f'<{tag} select='
+                     f'"{_escape_select(operation.select)}">'
+                     f'{content}</{tag}>')
+    parts.append("</xupdate:modifications>")
+    return "\n".join(parts)
+
+
+def canonical_update_text(update: "str | Operation") -> str:
+    """The canonical text of an update, whatever form it arrived in.
+
+    Update texts pass through unchanged (they are already canonical
+    for logging/replay purposes: re-parsing them yields the same
+    operations); parsed operations are serialized back to XUpdate.
+    """
+    if isinstance(update, str):
+        return update
+    return serialize_operation(update)
+
 
 def parse_modifications(text: str) -> list[Operation]:
     """Parse an XUpdate document into a list of operations."""

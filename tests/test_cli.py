@@ -204,3 +204,51 @@ class TestErrors:
         code = main(["query", "count(//a)", str(broken)])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRecover:
+    def _durable_state(self, tmp_path):
+        from repro.datagen import make_schema
+        from repro.service import CheckingService
+        from repro.xtree import parse_document
+
+        state = tmp_path / "state"
+        service = CheckingService.open_durable(
+            make_schema(),
+            [parse_document(PUB_XML), parse_document(REV_XML)],
+            state)
+        decision = service.try_execute(
+            submission_xupdate(1, 2, "Durable Title", "Fresh Name"))
+        assert decision.applied
+        service.close()
+        return state
+
+    def test_reports_replay_and_consistency(self, files, tmp_path,
+                                            capsys):
+        state = self._durable_state(tmp_path)
+        code = main(["recover", *schema_args(files),
+                     "--state-dir", str(state)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 of 1 logged updates replayed" in out
+        assert "consistent" in out
+
+    def test_checkpoint_empties_replay_tail(self, files, tmp_path,
+                                            capsys):
+        state = self._durable_state(tmp_path)
+        assert main(["recover", *schema_args(files),
+                     "--state-dir", str(state),
+                     "--checkpoint"]) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        code = main(["recover", *schema_args(files),
+                     "--state-dir", str(state)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 of 1 logged updates replayed" in out
+
+    def test_missing_state_dir_is_an_error(self, files, tmp_path,
+                                           capsys):
+        code = main(["recover", *schema_args(files),
+                     "--state-dir", str(tmp_path / "nothing")])
+        assert code == 2
+        assert "no snapshot" in capsys.readouterr().err

@@ -182,3 +182,19 @@ class TestFaultcheckCli:
         assert "FAULTCHECK FAILED" in capsys.readouterr().err
         command = repro_file.read_text().strip()
         assert "repro faultcheck --seed 1" in command
+
+    def test_crash_restart_single_site(self, capsys):
+        code = self._main(["faultcheck", "--crash-restart",
+                           "--seed", "1",
+                           "--site", "service.store.pre_commit_append",
+                           "--ops", "15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restart-and-replay" in out
+        assert "faultcheck passed" in out
+
+    def test_site_without_crash_restart_rejected(self, capsys):
+        code = self._main(["faultcheck", "--seed", "1",
+                           "--site", "persistence.pre_fsync"])
+        assert code == 2
+        assert "--crash-restart" in capsys.readouterr().err

@@ -1,0 +1,513 @@
+"""Durability tests: WAL, snapshots, crash-restart recovery.
+
+The unit layer exercises :mod:`repro.service.persistence` directly
+(record scanning, torn-tail truncation, atomic snapshot install); the
+service layer drives :meth:`CheckingService.open_durable` /
+:meth:`~CheckingService.recover` through real crashes simulated with
+the failpoint harness.  The property test sweeps crash points: for
+any fault site and firing count, recovery must land on a state byte-
+identical to a sequential oracle replay of the recovered commit log.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import make_schema
+from repro.datagen.running_example import submission_xupdate
+from repro.datagen.workload import illegal_submission, legal_submission
+from repro.errors import RecoveryError
+from repro.service import (
+    CheckingService,
+    DocumentStore,
+    DurableLog,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.service.persistence import (
+    SNAPSHOT_NAME,
+    WAL_NAME,
+    _encode,
+)
+from repro.testing.failpoints import FailPointError, fail
+from repro.testing.harness import (
+    RESTART_SITES,
+    run_restart_scenario,
+)
+from repro.xtree import parse_document
+from repro.xupdate import canonical_update_text, parse_modifications
+from tests.conftest import REV_XML
+
+
+class TestDurableLog:
+    def test_append_and_reopen_round_trip(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        log = DurableLog(path)
+        texts = [submission_xupdate(1, 1, f"T{i}", f"A{i}")
+                 for i in range(3)]
+        assert [log.append(text) for text in texts] == [0, 1, 2]
+        assert log.next_seq == 3
+        log.close()
+        reopened = DurableLog(path)
+        assert [(r.seq, r.text) for r in reopened.records()] \
+            == list(enumerate(texts))
+        assert reopened.next_seq == 3
+        reopened.close()
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        log = DurableLog(path)
+        log.append(submission_xupdate(1, 1, "Kept", "A"))
+        log.close()
+        intact_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(_encode(1, "half a record")[:10])
+        reopened = DurableLog(path)
+        assert len(reopened.records()) == 1
+        assert reopened.next_seq == 1
+        reopened.close()
+        assert path.stat().st_size == intact_size
+
+    def test_corrupt_crc_truncates_from_that_record(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        log = DurableLog(path)
+        log.append(submission_xupdate(1, 1, "First", "A"))
+        end_of_first = path.stat().st_size
+        log.append(submission_xupdate(1, 2, "Second", "B"))
+        log.close()
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(blob))
+        reopened = DurableLog(path)
+        assert [r.seq for r in reopened.records()] == [0]
+        reopened.close()
+        assert path.stat().st_size == end_of_first
+
+    def test_sequence_discontinuity_is_corruption(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        path.write_bytes(_encode(0, "a") + _encode(2, "b"))
+        with pytest.raises(RecoveryError, match="discontinuous"):
+            DurableLog(path)
+
+    def test_nonzero_first_sequence_is_corruption(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        path.write_bytes(_encode(5, "a"))
+        with pytest.raises(RecoveryError, match="sequence 0"):
+            DurableLog(path)
+
+    def test_truncate_to_seq_rolls_back_appends(self, tmp_path):
+        log = DurableLog(tmp_path / WAL_NAME)
+        for i in range(3):
+            log.append(f"text {i}")
+        log.truncate_to_seq(1)
+        assert [r.seq for r in log.records()] == [0]
+        assert log.next_seq == 1
+        assert log.append("replacement") == 1
+        log.close()
+
+    def test_crashed_log_refuses_everything(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        log = DurableLog(path)
+        log.append(submission_xupdate(1, 1, "Intact", "A"))
+        with fail.armed({"persistence.pre_fsync": "count:1"}):
+            with pytest.raises(FailPointError):
+                log.append(submission_xupdate(1, 2, "Torn", "B"))
+        assert log.crashed
+        with pytest.raises(RecoveryError, match="marked crashed"):
+            log.append(submission_xupdate(1, 1, "After", "C"))
+        with pytest.raises(RecoveryError, match="marked crashed"):
+            log.truncate_to_seq(0)
+        # close() flushes the torn half-record like a real page cache;
+        # reopening truncates it back to the intact prefix
+        log.close()
+        reopened = DurableLog(path)
+        assert [r.seq for r in reopened.records()] == [0]
+        reopened.close()
+
+
+class TestSnapshots:
+    def test_round_trip(self, tmp_path):
+        write_snapshot(tmp_path, 7, ["<a/>", "<b/>"])
+        snapshot = load_snapshot(tmp_path)
+        assert snapshot is not None
+        assert snapshot.lsn == 7
+        assert snapshot.documents == ("<a/>", "<b/>")
+
+    def test_missing_directory_loads_none(self, tmp_path):
+        assert load_snapshot(tmp_path / "nothing-here") is None
+
+    def test_rename_crash_keeps_previous_snapshot(self, tmp_path):
+        write_snapshot(tmp_path, 1, ["<old/>"])
+        with fail.armed({"persistence.snapshot_rename": "count:1"}):
+            with pytest.raises(FailPointError):
+                write_snapshot(tmp_path, 2, ["<new/>"])
+        snapshot = load_snapshot(tmp_path)
+        assert snapshot is not None and snapshot.lsn == 1
+        assert snapshot.documents == ("<old/>",)
+        # the leftover temp file does not block the next attempt
+        write_snapshot(tmp_path, 3, ["<newer/>"])
+        reloaded = load_snapshot(tmp_path)
+        assert reloaded is not None and reloaded.lsn == 3
+
+    def test_corrupt_checksum_rejected(self, tmp_path):
+        target = write_snapshot(tmp_path, 1, ["<a/>"])
+        blob = bytearray(target.read_bytes())
+        blob[-2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(RecoveryError, match="checksum"):
+            load_snapshot(tmp_path)
+
+    def test_malformed_body_rejected(self, tmp_path):
+        import zlib
+        body = b'{"format": 1}'  # checksums fine, fields missing
+        (tmp_path / SNAPSHOT_NAME).write_bytes(
+            b"%08x\n" % zlib.crc32(body) + body)
+        with pytest.raises(RecoveryError, match="malformed"):
+            load_snapshot(tmp_path)
+
+
+@pytest.fixture()
+def schema():
+    return make_schema()
+
+
+@pytest.fixture()
+def state_dir(tmp_path):
+    return tmp_path / "state"
+
+
+def fresh_documents():
+    from tests.conftest import PUB_XML
+    return [parse_document(PUB_XML), parse_document(REV_XML)]
+
+
+class TestDurableService:
+    def test_fresh_open_installs_baseline_snapshot(
+            self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        try:
+            assert service.durable
+            snapshot = load_snapshot(state_dir)
+            assert snapshot is not None and snapshot.lsn == 0
+            assert (state_dir / WAL_NAME).exists()
+            assert service.wal_records() == []
+        finally:
+            service.close()
+
+    def test_accepted_updates_logged_rejected_not(
+            self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        try:
+            rng = random.Random(5)
+            legal = legal_submission(
+                service.store.document("review"), rng)
+            assert service.try_execute(legal).applied
+            illegal = illegal_submission(
+                service.store.document("review"), rng)
+            assert not service.try_execute(illegal).applied
+            records = service.wal_records()
+            assert [r.seq for r in records] == [0]
+            assert records[0].text == legal
+        finally:
+            service.close()
+
+    def test_operation_objects_logged_as_canonical_text(
+            self, schema, state_dir):
+        """Satellite 1 regression: a parsed Operation submitted to the
+        service must enter the WAL as parseable XUpdate text, not as
+        the dataclass repr ``str(op)`` used to produce."""
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        try:
+            text = submission_xupdate(1, 1, "As Object", "Obj Author")
+            operation = parse_modifications(text)[0]
+            assert service.try_execute(operation).applied
+            record = service.wal_records()[0]
+            assert record.text == canonical_update_text(operation)
+            reparsed = parse_modifications(record.text)
+            assert reparsed[0].select == operation.select
+        finally:
+            service.close()
+        # and the record replays: reopen recovers through the checker
+        recovered = CheckingService.recover(schema, state_dir)
+        try:
+            assert recovered.last_recovery is not None
+            assert recovered.last_recovery.replayed == 1
+        finally:
+            recovered.close()
+
+    def test_reopen_recovers_identical_state(self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        rng = random.Random(11)
+        for _ in range(4):
+            service.try_execute(legal_submission(
+                service.store.document("review"), rng))
+        expected = service.snapshot()
+        expected_log = [(c.sequence, canonical_update_text(c.update))
+                        for c in service.committed_updates()]
+        service.close()
+        reopened = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        try:
+            assert reopened.last_recovery is not None
+            assert reopened.snapshot() == expected
+            assert [(c.sequence, canonical_update_text(c.update))
+                    for c in reopened.committed_updates()] \
+                == expected_log
+            assert reopened.verify_consistency() == []
+        finally:
+            reopened.close()
+
+    def test_crash_between_append_and_apply_replays_on_restart(
+            self, schema, state_dir):
+        """Satellite 3: the applied-but-unlogged window is closed from
+        both sides — a crash after the fsync'd append recovers *with*
+        the logged update, keeping log and memory in exact step."""
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        rng = random.Random(23)
+        rev = service.store.document("review")
+        assert service.try_execute(legal_submission(rev, rng)).applied
+        survivor_count = len(service.committed_updates())
+        doomed = legal_submission(rev, rng)
+        with fail.armed(
+                {"persistence.post_append_pre_apply": "count:1"}):
+            with pytest.raises(FailPointError):
+                service.try_execute(doomed)
+        # the process is "dead": the service refuses further writes
+        with pytest.raises(RecoveryError, match="crashed"):
+            service.try_execute(legal_submission(rev, rng))
+        service.close()
+        recovered = CheckingService.recover(schema, state_dir)
+        try:
+            committed = recovered.committed_updates()
+            assert len(committed) == survivor_count + 1
+            assert canonical_update_text(committed[-1].update) \
+                == doomed
+            texts = [r.text for r in recovered.wal_records()]
+            assert texts == [canonical_update_text(c.update)
+                             for c in committed]
+            assert recovered.verify_consistency() == []
+        finally:
+            recovered.close()
+
+    def test_recover_without_state_raises(self, schema, tmp_path):
+        with pytest.raises(RecoveryError, match="no snapshot"):
+            CheckingService.recover(schema, tmp_path / "empty")
+
+    def test_lost_wal_records_detected(self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        rng = random.Random(7)
+        for _ in range(2):
+            service.try_execute(legal_submission(
+                service.store.document("review"), rng))
+        service.checkpoint()  # snapshot now current through lsn 2
+        service.close()
+        (state_dir / WAL_NAME).write_bytes(b"")  # fsync'd records gone
+        with pytest.raises(RecoveryError, match="lost"):
+            CheckingService.recover(schema, state_dir)
+
+    def test_tampered_log_rejected_on_replay(self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        rng = random.Random(3)
+        service.try_execute(legal_submission(
+            service.store.document("review"), rng))
+        illegal = illegal_submission(
+            service.store.document("review"), rng)
+        service.close()
+        # smuggle an illegal update into the log behind the service's
+        # back — replay re-checks it and refuses the whole recovery
+        log = DurableLog(state_dir / WAL_NAME)
+        log.append(illegal)
+        log.close()
+        with pytest.raises(RecoveryError, match="no longer accepted"):
+            CheckingService.recover(schema, state_dir)
+
+    def test_checkpoint_bounds_replay(self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        rng = random.Random(13)
+        for _ in range(3):
+            service.try_execute(legal_submission(
+                service.store.document("review"), rng))
+        service.checkpoint()
+        service.close()
+        recovered = CheckingService.recover(schema, state_dir)
+        try:
+            info = recovered.last_recovery
+            assert info is not None
+            assert info.snapshot_lsn == 3
+            assert info.replayed == 0
+            assert info.total_records == 3
+            # appends continue the sequence after recovery
+            decision = recovered.try_execute(legal_submission(
+                recovered.store.document("review"), rng))
+            assert decision.applied
+            assert recovered.wal_records()[-1].seq == 3
+        finally:
+            recovered.close()
+
+    def test_checkpoint_requires_durable_mode(
+            self, schema, documents):
+        service = CheckingService(schema, documents)
+        with pytest.raises(RecoveryError, match="no durable state"):
+            service.checkpoint()
+
+    def test_automatic_snapshot_interval(self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir,
+            snapshot_interval=2)
+        rng = random.Random(17)
+        for _ in range(3):
+            service.try_execute(legal_submission(
+                service.store.document("review"), rng))
+        service.close()
+        snapshot = load_snapshot(state_dir)
+        assert snapshot is not None and snapshot.lsn >= 2
+
+
+class TestSharedStoreLocking:
+    def test_construction_waits_for_writer(
+            self, constraint_schema, documents):
+        """Satellite 2: handing a *shared* DocumentStore to the
+        constructor takes the read lock for the checker-factory walk,
+        so a concurrent writer blocks it instead of racing it."""
+        store = DocumentStore(documents)
+        built = threading.Event()
+
+        def construct() -> None:
+            CheckingService(constraint_schema, store)
+            built.set()
+
+        with store.write_locked():
+            thread = threading.Thread(target=construct)
+            thread.start()
+            assert not built.wait(0.2)
+        thread.join(timeout=10)
+        assert built.is_set()
+
+
+class TestSequenceNumbering:
+    """Satellite 4: CommittedUpdate sequences stay dense and ordered
+    under interleaved try_execute / check_batch, volatile or durable,
+    and (when durable) agree with the WAL record sequences."""
+
+    def _drive(self, service: CheckingService) -> None:
+        rng = random.Random(29)
+        rev = service.store.document("review")
+        assert service.try_execute(legal_submission(rev, rng)).applied
+        batch = [legal_submission(rev, rng) for _ in range(3)]
+        batch.insert(1, illegal_submission(rev, rng))
+        decisions = service.check_batch(batch)
+        assert [d.applied for d in decisions] \
+            == [True, False, True, True]
+        assert not service.try_execute(
+            illegal_submission(rev, rng)).applied
+        assert service.try_execute(legal_submission(rev, rng)).applied
+
+    def test_volatile_sequences_are_dense(
+            self, constraint_schema, documents):
+        service = CheckingService(constraint_schema, documents)
+        self._drive(service)
+        committed = service.committed_updates()
+        assert [c.sequence for c in committed] \
+            == list(range(len(committed)))
+        assert len(committed) == 5
+
+    def test_durable_sequences_match_wal(self, schema, state_dir):
+        service = CheckingService.open_durable(
+            schema, fresh_documents(), state_dir)
+        try:
+            self._drive(service)
+            committed = service.committed_updates()
+            assert [c.sequence for c in committed] \
+                == list(range(len(committed)))
+            records = service.wal_records()
+            assert [r.seq for r in records] \
+                == [c.sequence for c in committed]
+            assert [r.text for r in records] \
+                == [canonical_update_text(c.update)
+                    for c in committed]
+        finally:
+            service.close()
+
+
+CRASH_SITES = [
+    "persistence.pre_fsync",
+    "persistence.post_append_pre_apply",
+    "persistence.snapshot_rename",
+]
+
+
+@pytest.mark.fault
+class TestCrashPointProperty:
+    """Satellite 4b: for *any* crash point, recovery lands on a state
+    byte-identical to a sequential oracle replay of the recovered
+    commit log, with at most one logged-but-unapplied extra record."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 9999), hits=st.integers(1, 6),
+           site=st.sampled_from(CRASH_SITES))
+    def test_recovery_matches_oracle(self, seed, hits, site):
+        schema = make_schema()
+        state_dir = tempfile.mkdtemp(prefix="repro-walprop-")
+        try:
+            service = CheckingService.open_durable(
+                schema, fresh_documents(), state_dir,
+                snapshot_interval=3)
+            rng = random.Random(seed)
+            accepted: list[str] = []
+            crashed = False
+            with fail.armed({site: f"count:{hits}"}):
+                for _ in range(10):
+                    rev = service.store.document("review")
+                    if rng.random() < 0.25:
+                        update = illegal_submission(rev, rng)
+                    else:
+                        update = legal_submission(rev, rng)
+                    try:
+                        if service.try_execute(update).applied:
+                            accepted.append(update)
+                    except FailPointError:
+                        crashed = True
+                        break
+                    except RecoveryError:
+                        break  # post-crash write refused
+            service.close()
+            recovered = CheckingService.recover(schema, state_dir)
+            committed = [canonical_update_text(c.update)
+                         for c in recovered.committed_updates()]
+            # at most one logged-but-unapplied record beyond the
+            # accepted prefix — and only when the crash fired
+            assert committed[:len(accepted)] == accepted
+            assert len(committed) <= len(accepted) + (1 if crashed
+                                                      else 0)
+            oracle = CheckingService(schema, fresh_documents())
+            for text in committed:
+                assert oracle.try_execute(text).applied
+            assert recovered.snapshot() == oracle.snapshot()
+            assert recovered.verify_consistency() == []
+            recovered.close()
+        finally:
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+
+@pytest.mark.fault
+class TestRestartMatrix:
+    @pytest.mark.parametrize("site", sorted(RESTART_SITES))
+    def test_kill_and_restart_recovers(self, site):
+        report = run_restart_scenario(3, site, ops=40)
+        assert report.faults_fired > 0
+        assert report.accepted > 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.datalog import Parameter as P
 from repro.errors import (
+    ParseError,
     SimplificationError,
     UpdateApplicationError,
     XUpdateError,
@@ -19,7 +20,10 @@ from repro.xupdate import (
     analyze_operation,
     apply_operation,
     apply_text,
+    canonical_update_text,
     parse_modifications,
+    serialize_operation,
+    serialize_operations,
 )
 from repro.xupdate.analyze import signature_of
 
@@ -245,3 +249,64 @@ class TestAnalysis:
         assert len(auts_atoms) == 2
         names = {atom.args[3] for atom in auts_atoms}
         assert len(names) == 2  # distinct value parameters
+
+
+class TestSerialization:
+    """Canonical operation serialization (the WAL/commit-log form)."""
+
+    def test_round_trips_through_parser(self):
+        for text in (SECTION_4_1_XUPDATE,
+                     submission_xupdate(2, 1, "Round Trip", "Zoe")):
+            original = parse_modifications(text)[0]
+            reparsed = parse_modifications(
+                serialize_operation(original))[0]
+            assert isinstance(reparsed, type(original))
+            assert reparsed.kind == original.kind
+            assert reparsed.select == original.select
+
+    def test_round_trip_applies_identically(self, rev_doc):
+        twin = parse_document(serialize(rev_doc))
+        operation = parse_modifications(SECTION_4_1_XUPDATE)[0]
+        # retarget the paper's select to a node this corpus has
+        operation = InsertOperation(
+            "append", "/review/track[1]/rev[1]", operation.content)
+        reparsed = parse_modifications(
+            serialize_operation(operation))[0]
+        apply_operation(rev_doc, operation)
+        apply_operation(twin, reparsed)
+        assert serialize(rev_doc) == serialize(twin)
+
+    def test_remove_and_multi_operation_documents(self):
+        operations = [
+            RemoveOperation("/review/track[1]/rev[1]/sub[1]"),
+            parse_modifications(
+                submission_xupdate(1, 2, "Second", "Ann"))[0],
+        ]
+        reparsed = parse_modifications(
+            serialize_operations(operations))
+        assert isinstance(reparsed[0], RemoveOperation)
+        assert reparsed[0].select == operations[0].select
+        assert isinstance(reparsed[1], InsertOperation)
+
+    def test_select_attribute_is_escaped(self):
+        operation = RemoveOperation('/review/track[name="A&B<C"]')
+        reparsed = parse_modifications(
+            serialize_operation(operation))[0]
+        assert reparsed.select == operation.select
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(XUpdateError):
+            serialize_operations([])
+
+    def test_canonical_text_is_not_the_dataclass_repr(self):
+        operation = parse_modifications(
+            submission_xupdate(1, 1, "Canonical", "Form"))[0]
+        canonical = canonical_update_text(operation)
+        assert canonical != str(operation)  # repr is not parseable
+        assert parse_modifications(canonical)
+        with pytest.raises(ParseError):
+            parse_modifications(str(operation))
+
+    def test_canonical_text_passes_strings_through(self):
+        text = submission_xupdate(1, 1, "Verbatim", "Text")
+        assert canonical_update_text(text) is text
