@@ -1,0 +1,321 @@
+"""Service load harness — read/write throughput and tail latency.
+
+Not a pytest-benchmark module: the metrics here are *concurrent*
+(throughput under N reader threads, p50/p99 tail latency while a
+writer interferes), which a single-function timer cannot express.
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/test_service_load.py --out BENCH_service.json
+
+Design notes for a GIL-bound, single-core runner:
+
+* Clients are **closed-loop with calibrated think time**: each reader
+  issues one full consistency check, then sleeps ``Z = 6 x R`` where
+  ``R`` is the unloaded median check cost measured at startup.  With
+  think time, adding readers raises offered load without demanding
+  CPU parallelism the interpreter cannot give — so read throughput
+  scales with reader count *unless readers serialize on a lock*,
+  which is exactly the regression the gate watches for.
+* The ``mix20`` scenario paces one writer to ~20% of operations
+  (think ``(Z + R) / (0.25 x N)``), the paper's update-heavy service
+  mix, and runs at 1/4/16 readers in snapshot mode.
+* The ``write-heavy`` scenario commits **batches** of 96 updates per
+  lock round (``check_batch``) at a ~50% writer duty cycle (the
+  writer sleeps for one batch duration between batches) against 4
+  readers.  Batches are balanced append/remove pairs, so the corpus
+  stays the same size however long the cell runs — late samples
+  measure the same store as early ones.  The cell runs twice: once
+  with snapshot reads and once in locked mode
+  (``snapshot_reads=False``): under the store lock a reader that
+  arrives mid-batch waits out the whole un-preemptible critical
+  section, so read p99 tracks the batch length; on the snapshot path
+  readers never touch the lock and pay only interpreter time-slice
+  interference, so p99 stays near the unloaded read cost.
+* Reader think times are jittered (x0.5-1.5) so clients don't wake in
+  lockstep, and the interpreter switch interval is lowered to 1 ms
+  for the measurement (recorded in ``meta``) — both keep tail
+  latencies a measure of *blocking*, not of scheduler beat patterns.
+
+``scripts/check_service_gate.py`` enforces the two headline numbers:
+read throughput at 16 readers >= 3x the 1-reader throughput
+(``mix20``), and snapshot-read p99 <= 0.5x locked-read p99
+(``write-heavy``).
+
+The workload reuses the fault-injection harness's step vocabulary:
+reads are full constraint checks (``verify_consistency``), writes are
+the running example's legal submission insertions
+(:func:`repro.datagen.legal_submission`), pre-generated so the write
+path measures check-and-commit, not text generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import threading
+import time
+
+from repro.datagen import generate_corpus, spec_for_size
+from repro.datagen.running_example import make_schema, submission_xupdate
+from repro.datagen.workload import _normal_reviewer_targets, legal_submission
+from repro.service import CheckingService
+
+#: pre-generated updates per cell; targets are picked from the initial
+#: corpus, and appends keep every (track, rev) index valid throughout
+_UPDATE_POOL = 512
+
+
+def _percentile(values: "list[float]", fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latency_stats(latencies: "list[float]",
+                   duration: float) -> dict:
+    return {
+        "ops": len(latencies),
+        "throughput": len(latencies) / duration if duration else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+    }
+
+
+def _removal_xupdate(track: int, rev: int, position: int) -> str:
+    return f"""<?xml version="1.0"?>
+<xupdate:modifications version="1.0"
+    xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:remove select="/review/track[{track}]/rev[{rev}]/sub[{position}]"/>
+</xupdate:modifications>"""
+
+
+def _balanced_pool(rev_doc, rng: "random.Random") -> "list[str]":
+    """Append/remove pairs that leave the store exactly as found.
+
+    Each pair appends a fresh-author submission to a reviewer and
+    then removes that same (last) submission, so arbitrarily long
+    write runs keep the corpus stationary — latency samples from the
+    start and end of a cell measure the same store.
+    """
+    targets = _normal_reviewer_targets(rev_doc)
+    counts = {}
+    for index, track in enumerate(
+            rev_doc.root.element_children("track"), start=1):
+        for rev_index, rev in enumerate(
+                track.element_children("rev"), start=1):
+            counts[(index, rev_index)] = \
+                len(rev.element_children("sub"))
+    pool: "list[str]" = []
+    while len(pool) < _UPDATE_POOL:
+        track, rev, _ = targets[(len(pool) // 2) % len(targets)]
+        pool.append(submission_xupdate(
+            track, rev, f"Load Sub {rng.randrange(10 ** 9)}",
+            f"Fresh Author {rng.randrange(10 ** 9)}"))
+        pool.append(_removal_xupdate(track, rev,
+                                     counts[(track, rev)] + 1))
+    return pool
+
+
+def _fresh_service(schema, size_kib: int, snapshot_reads: bool):
+    documents = list(generate_corpus(spec_for_size(size_kib * 1024)))
+    service = CheckingService(schema, documents,
+                              snapshot_reads=snapshot_reads)
+    return service, documents
+
+
+def calibrate_read_cost(schema, size_kib: int, rounds: int = 9) -> float:
+    """Median unloaded cost of one full check, in seconds."""
+    service, _ = _fresh_service(schema, size_kib, True)
+    samples = []
+    for _ in range(rounds):
+        begin = time.perf_counter()
+        violated = service.verify_consistency()
+        samples.append(time.perf_counter() - begin)
+        assert violated == []
+    return statistics.median(samples)
+
+
+def run_cell(schema, *, size_kib: int, scenario: str,
+             snapshot_reads: bool, readers: int, read_think: float,
+             write_think: float, duration: float,
+             write_batch: int = 1, duty_pacing: bool = False,
+             balanced: bool = False) -> dict:
+    """One load cell: N closed-loop readers + 1 paced writer.
+
+    With ``duty_pacing`` the writer sleeps for the duration of the
+    batch it just committed (a ~50% duty cycle) instead of a fixed
+    ``write_think``, keeping the cell off CPU saturation so latency
+    measures blocking rather than run-queue depth.  With ``balanced``
+    the update pool is append/remove pairs that keep the corpus
+    stationary (see :func:`_balanced_pool`).
+    """
+    service, documents = _fresh_service(schema, size_kib,
+                                        snapshot_reads)
+    rng = random.Random(4242)
+    if balanced:
+        updates = _balanced_pool(documents[1], rng)
+    else:
+        updates = [legal_submission(documents[1], rng)
+                   for _ in range(_UPDATE_POOL)]
+    start = threading.Barrier(readers + 2)
+    read_latencies: "list[list[float]]" = [[] for _ in range(readers)]
+    write_latencies: "list[float]" = []
+    applied = 0
+    errors: "list[BaseException]" = []
+
+    def reader(slot: int) -> None:
+        try:
+            start.wait()
+            deadline = time.perf_counter() + duration
+            sink = read_latencies[slot]
+            jitter = random.Random(1000 + slot)
+            while time.perf_counter() < deadline:
+                begin = time.perf_counter()
+                service.verify_consistency()
+                sink.append(time.perf_counter() - begin)
+                if read_think:
+                    time.sleep(read_think * (0.5 + jitter.random()))
+        except BaseException as error:  # noqa: B036 - reported below
+            errors.append(error)
+
+    def writer() -> None:
+        nonlocal applied
+        try:
+            start.wait()
+            deadline = time.perf_counter() + duration
+            index = 0
+            while time.perf_counter() < deadline:
+                begin = time.perf_counter()
+                if write_batch == 1:
+                    decisions = [service.try_execute(
+                        updates[index % _UPDATE_POOL])]
+                else:
+                    decisions = service.check_batch(
+                        [updates[(index + offset) % _UPDATE_POOL]
+                         for offset in range(write_batch)])
+                elapsed = time.perf_counter() - begin
+                write_latencies.append(elapsed)
+                applied += sum(1 for decision in decisions
+                               if decision.applied)
+                index += write_batch
+                if duty_pacing:
+                    time.sleep(elapsed)
+                elif write_think:
+                    time.sleep(write_think)
+        except BaseException as error:  # noqa: B036 - reported below
+            errors.append(error)
+
+    threads = [threading.Thread(target=reader, args=(slot,))
+               for slot in range(readers)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    start.wait()  # all clients released together
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+    reads = [latency for sink in read_latencies for latency in sink]
+    write_ops = len(write_latencies) * write_batch
+    total = len(reads) + write_ops
+    cell = {
+        "scenario": scenario,
+        "mode": "snapshot" if snapshot_reads else "locked",
+        "readers": readers,
+        "writers": 1,
+        "write_batch": write_batch,
+        "read": _latency_stats(reads, duration),
+        # write latencies are per lock round (one batch = one round)
+        "write": _latency_stats(write_latencies, duration),
+        "write_fraction": write_ops / total if total else 0.0,
+        "applied": applied,
+    }
+    if snapshot_reads:
+        cell["snapshots"] = service.snapshots.stats()
+    return cell
+
+
+def run_suite(*, size_kib: int, duration: float,
+              smoke: bool) -> dict:
+    schema = make_schema()
+    previous_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.001)
+    try:
+        read_cost = calibrate_read_cost(schema, size_kib)
+        think = 6.0 * read_cost
+        cells = []
+        for readers in (1, 4, 16):
+            # pace the writer to ~20% of operations: readers offer
+            # N / (Z + R) checks per second, so a quarter of that
+            # rate on the write side yields the 80/20 mix
+            write_think = (think + read_cost) / (0.25 * readers)
+            print(f"mix20 snapshot readers={readers} ...", flush=True)
+            cells.append(run_cell(
+                schema, size_kib=size_kib, scenario="mix20",
+                snapshot_reads=True, readers=readers,
+                read_think=think, write_think=write_think,
+                duration=duration))
+        for snapshot_reads in (True, False):
+            mode = "snapshot" if snapshot_reads else "locked"
+            print(f"write-heavy {mode} readers=4 ...", flush=True)
+            cells.append(run_cell(
+                schema, size_kib=size_kib, scenario="write-heavy",
+                snapshot_reads=snapshot_reads, readers=4,
+                read_think=14.0 * read_cost, write_think=0.0,
+                duration=duration, write_batch=96,
+                duty_pacing=True, balanced=True))
+    finally:
+        sys.setswitchinterval(previous_interval)
+    return {
+        "meta": {
+            "size_kib": size_kib,
+            "calibrated_read_ms": read_cost * 1000.0,
+            "think_ms": think * 1000.0,
+            "switch_interval_ms": 1.0,
+            "duration_s": duration,
+            "smoke": smoke,
+        },
+        "cells": cells,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output JSON path")
+    parser.add_argument("--size-kib", type=int, default=32,
+                        help="corpus size per document set (KiB)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds per cell (default: 4.0, or "
+                             "1.2 with --smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short cells for CI")
+    args = parser.parse_args(argv)
+    duration = args.duration or (1.2 if args.smoke else 4.0)
+    report = run_suite(size_kib=args.size_kib, duration=duration,
+                       smoke=args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for cell in report["cells"]:
+        read = cell["read"]
+        write = cell["write"]
+        print(f"{cell['scenario']:>11} {cell['mode']:>8} "
+              f"readers={cell['readers']:>2}: "
+              f"read {read['throughput']:7.1f}/s "
+              f"p50 {read['p50_ms']:6.1f}ms p99 {read['p99_ms']:6.1f}ms"
+              f" | write {write['throughput']:5.1f}/s "
+              f"({cell['write_fraction']:.0%} of ops)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,15 @@
 """Ablation A4 — what the thread-safe service layer costs.
 
 The CheckingService wraps every checker call in a reader-writer lock
-(plus commit-log bookkeeping on applied updates).  These benchmarks put
-a number on that wrapper: the same rejected update through the bare
-guard vs. through the service (writer path), a full consistency check
-direct vs. through the service (reader path), and the reader path under
-actual thread-level concurrency.
+(plus commit-log bookkeeping on applied updates) and, by default,
+serves reads from pinned MVCC-lite snapshots instead of the lock.
+These benchmarks put a number on both wrappers: the same rejected
+update through the bare guard vs. through the service (writer path),
+a full consistency check direct vs. through the service in each read
+mode (snapshot-pinned vs. read-locked), and the reader path under
+actual thread-level concurrency — again in both modes, so the price
+or payoff of snapshot pinning is one table row away from the lock
+baseline it replaced.
 """
 
 import threading
@@ -13,8 +17,9 @@ import threading
 from repro.service import CheckingService
 
 
-def _service_for(scenario):
-    return CheckingService.from_checker(scenario.guard)
+def _service_for(scenario, snapshot_reads=True):
+    return CheckingService.from_checker(scenario.guard,
+                                        snapshot_reads=snapshot_reads)
 
 
 def test_guard_reject_direct(benchmark, conflict_scenario, size_kib):
@@ -39,21 +44,25 @@ def test_verify_direct(benchmark, conflict_scenario, size_kib):
     assert violated == []
 
 
-def test_verify_through_service(benchmark, conflict_scenario, size_kib):
+def test_verify_through_service_locked(benchmark, conflict_scenario,
+                                       size_kib):
+    """The read-lock path: every check takes the store's read lock."""
+    benchmark.group = f"service-verify-{size_kib}KiB"
+    service = _service_for(conflict_scenario, snapshot_reads=False)
+    violated = benchmark(service.verify_consistency)
+    assert violated == []
+
+
+def test_verify_through_service_snapshot(benchmark, conflict_scenario,
+                                         size_kib):
+    """The snapshot path: pin the published version, never lock."""
     benchmark.group = f"service-verify-{size_kib}KiB"
     service = _service_for(conflict_scenario)
     violated = benchmark(service.verify_consistency)
     assert violated == []
 
 
-def test_verify_concurrent_readers(benchmark, conflict_scenario,
-                                   size_kib):
-    """Four reader threads verifying at once — the reader-lock path
-    under real contention (GIL-bound, so ideally ~4x the single-reader
-    time; a serializing bug would show up as much worse)."""
-    benchmark.group = f"service-verify-{size_kib}KiB"
-    service = _service_for(conflict_scenario)
-
+def _concurrent_verifies(service):
     def parallel_verifies():
         results: list[list[str]] = []
 
@@ -67,4 +76,24 @@ def test_verify_concurrent_readers(benchmark, conflict_scenario,
             thread.join()
         assert all(result == [] for result in results)
 
-    benchmark(parallel_verifies)
+    return parallel_verifies
+
+
+def test_verify_concurrent_readers_locked(benchmark, conflict_scenario,
+                                          size_kib):
+    """Four reader threads verifying at once through the read lock
+    (GIL-bound, so ideally ~4x the single-reader time; a serializing
+    bug would show up as much worse)."""
+    benchmark.group = f"service-verify-{size_kib}KiB"
+    service = _service_for(conflict_scenario, snapshot_reads=False)
+    benchmark(_concurrent_verifies(service))
+
+
+def test_verify_concurrent_readers_snapshot(benchmark,
+                                            conflict_scenario,
+                                            size_kib):
+    """The same four-reader burst against pinned snapshots — no lock
+    acquisition at all on the read side."""
+    benchmark.group = f"service-verify-{size_kib}KiB"
+    service = _service_for(conflict_scenario)
+    benchmark(_concurrent_verifies(service))

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Regression gate over the service load harness (BENCH_service.json).
+
+Reads the custom JSON emitted by ``benchmarks/test_service_load.py``
+and enforces the two headline properties of the MVCC-lite read path:
+
+* **read scaling** — in the ``mix20`` scenario (snapshot mode, ~20%
+  writes), read throughput at 16 readers must be at least
+  ``--min-scaling`` (default 3.0) times the 1-reader throughput.
+  Closed-loop clients with calibrated think time make this a test of
+  reader independence, not CPU parallelism: a read path that
+  serializes on a lock caps near 1x regardless of think time.
+* **tail latency** — in the ``write-heavy`` scenario (batched writer
+  at a ~50% duty cycle), snapshot-read p99 must be at most
+  ``--max-p99-ratio`` (default 0.5) times locked-read p99: readers
+  that wait out the writer's critical section inherit the batch
+  length in their tail, readers on the snapshot path don't.
+
+With ``--baseline`` (the committed ``BENCH_service.json``) the same
+two figures are additionally compared against the baseline run: the
+scaling factor may not drop below ``1 - tolerance`` of the baseline's,
+and the p99 ratio may not exceed ``1 + tolerance`` of the baseline's.
+Ratios of same-box measurements are machine-independent, which is
+what makes a short CI smoke comparable to the committed full run.
+
+Exit code 1 on any violation, with one line per failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path: str) -> list[dict]:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    return report["cells"]
+
+
+def _cell(cells: list[dict], scenario: str, mode: str,
+          readers: int | None = None) -> dict | None:
+    for cell in cells:
+        if cell["scenario"] != scenario or cell["mode"] != mode:
+            continue
+        if readers is not None and cell["readers"] != readers:
+            continue
+        return cell
+    return None
+
+
+def read_scaling(cells: list[dict]) -> float | None:
+    """mix20 snapshot read throughput at 16 readers over 1 reader."""
+    one = _cell(cells, "mix20", "snapshot", readers=1)
+    sixteen = _cell(cells, "mix20", "snapshot", readers=16)
+    if one is None or sixteen is None:
+        return None
+    base = one["read"]["throughput"]
+    return sixteen["read"]["throughput"] / base if base else None
+
+
+def p99_ratio(cells: list[dict]) -> float | None:
+    """write-heavy snapshot read p99 over locked read p99."""
+    snapshot = _cell(cells, "write-heavy", "snapshot")
+    locked = _cell(cells, "write-heavy", "locked")
+    if snapshot is None or locked is None:
+        return None
+    locked_p99 = locked["read"]["p99_ms"]
+    if not locked_p99:
+        return None
+    return snapshot["read"]["p99_ms"] / locked_p99
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("report", help="BENCH_service.json to check")
+    parser.add_argument("--min-scaling", type=float, default=3.0,
+                        help="minimum mix20 read-throughput scaling, "
+                             "16 readers vs 1 (default: 3.0)")
+    parser.add_argument("--max-p99-ratio", type=float, default=0.5,
+                        help="maximum write-heavy snapshot/locked "
+                             "read-p99 ratio (default: 0.5)")
+    parser.add_argument("--baseline",
+                        help="committed BENCH_service.json to compare "
+                             "ratios against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative drift vs the baseline "
+                             "ratios (default: 0.25)")
+    args = parser.parse_args()
+
+    cells = load_cells(args.report)
+    failures: list[str] = []
+
+    scaling = read_scaling(cells)
+    if scaling is None:
+        failures.append("missing mix20 snapshot cells at 1 and 16 "
+                        "readers")
+    else:
+        print(f"mix20 read scaling (16 vs 1 readers): {scaling:.2f}x "
+              f"(floor {args.min_scaling:.2f}x)")
+        if scaling < args.min_scaling:
+            failures.append(
+                f"read throughput scaling {scaling:.2f}x is below "
+                f"the {args.min_scaling:.2f}x floor — the snapshot "
+                "read path is serializing readers")
+
+    ratio = p99_ratio(cells)
+    if ratio is None:
+        failures.append("missing write-heavy snapshot/locked cells")
+    else:
+        print(f"write-heavy read p99, snapshot/locked: {ratio:.2f} "
+              f"(ceiling {args.max_p99_ratio:.2f})")
+        if ratio > args.max_p99_ratio:
+            failures.append(
+                f"snapshot-read p99 is {ratio:.2f}x the locked-read "
+                f"p99 (ceiling {args.max_p99_ratio:.2f}) — snapshot "
+                "reads are not insulating tails from writers")
+
+    if args.baseline:
+        base_cells = load_cells(args.baseline)
+        base_scaling = read_scaling(base_cells)
+        base_ratio = p99_ratio(base_cells)
+        if scaling is not None and base_scaling:
+            floor = base_scaling * (1.0 - args.tolerance)
+            print(f"baseline scaling {base_scaling:.2f}x -> "
+                  f"regression floor {floor:.2f}x")
+            if scaling < floor:
+                failures.append(
+                    f"read scaling {scaling:.2f}x regressed more "
+                    f"than {args.tolerance:.0%} below the baseline's "
+                    f"{base_scaling:.2f}x")
+        if ratio is not None and base_ratio:
+            ceiling = base_ratio * (1.0 + args.tolerance)
+            print(f"baseline p99 ratio {base_ratio:.2f} -> "
+                  f"regression ceiling {ceiling:.2f}")
+            if ratio > ceiling:
+                failures.append(
+                    f"p99 ratio {ratio:.2f} regressed more than "
+                    f"{args.tolerance:.0%} above the baseline's "
+                    f"{base_ratio:.2f}")
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("service load gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

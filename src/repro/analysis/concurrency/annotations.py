@@ -45,6 +45,7 @@ _T = TypeVar("_T")
 #: instrumented ``fail.point`` sites reach from inside any scope.
 LOCK_ORDER: tuple[str, ...] = (
     "service.store",          # DocumentStore reader–writer lock
+    "service.snapshots",      # SnapshotManager pin/publish bookkeeping
     "document",               # Document._lock (per-document RLock)
     "service.persistence",    # DurableLog file/sequence lock
     "core.update_cache",      # guard._UPDATE_CACHE_LOCK

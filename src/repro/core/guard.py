@@ -89,6 +89,31 @@ class UpdateDecision:
     rolled_back: bool = False
 
 
+def verify_documents(schema: ConstraintSchema,
+                     documents: list[Document]) -> list[str]:
+    """Names of ``schema``'s constraints violated in ``documents``.
+
+    The full (non-incremental) check every checker exposes as
+    ``verify_consistency``, as a free function so it can run against
+    *any* consistent document set — the live trees under the store
+    lock, or a pinned immutable snapshot with no lock at all.
+    Constraints flagged *dead* by the compile-time satisfiability pass
+    are skipped (DTD-valid documents cannot violate them).
+    """
+    violated = []
+    for constraint in schema.constraints:
+        if constraint.dead:
+            continue
+        for query in constraint.full_queries:
+            if query.parameters:
+                raise SimplificationError(
+                    "full constraint checks cannot have parameters")
+            if query.truth(documents):
+                violated.append(constraint.name)
+                break
+    return violated
+
+
 class _CheckerBase:
     def __init__(self, schema: ConstraintSchema,
                  documents: list[Document]) -> None:
@@ -212,18 +237,7 @@ class _CheckerBase:
         ``XIC106``) are skipped: the documents are DTD-valid by
         contract, so evaluating those checks is pure waste.
         """
-        violated = []
-        for constraint in self.schema.constraints:
-            if constraint.dead:
-                continue
-            for query in constraint.full_queries:
-                if query.parameters:
-                    raise SimplificationError(
-                        "full constraint checks cannot have parameters")
-                if query.truth(self.documents):
-                    violated.append(constraint.name)
-                    break
-        return violated
+        return verify_documents(self.schema, self.documents)
 
     def execute(self, update: "str | Operation") -> UpdateDecision:
         """Like :meth:`try_execute` but raises on violation."""

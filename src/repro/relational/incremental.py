@@ -331,6 +331,13 @@ def attach(document: Document,
     or equivalent (``describe()``-equal); otherwise it is replaced —
     two guards over the same store with different schemas would
     disagree about value columns, and the later attachment wins.
+
+    A *frozen* document (a published snapshot clone) gets its store
+    without a mutation listener: structural mutation raises on frozen
+    documents, so the delta path can never run, and the eager
+    :meth:`ColumnStore.warm` below means snapshot readers find the
+    columns already materialized at the clone's (final) revision —
+    the store is permanently bound to that snapshot version.
     """
     with document._lock:
         store = document.column_store
@@ -345,7 +352,8 @@ def attach(document: Document,
                 return store
             detach(document)
         store = ColumnStore(document, relational)
-        document._mutation_listeners.append(store._on_mutation)
+        if not document.frozen:
+            document._mutation_listeners.append(store._on_mutation)
         document.column_store = store
     store.warm()
     return store

@@ -8,6 +8,11 @@ time; this package makes them safe to share — and safe to kill:
 * :class:`CheckingService` — the façade serving updates (serialized)
   and read-only checks (concurrent), with a commit log whose
   sequential replay reproduces the store's exact state;
+* :mod:`repro.service.snapshots` — the MVCC-lite read path: writers
+  publish immutable copy-on-write :class:`DocumentSnapshot` versions
+  at commit boundaries (:class:`SnapshotManager`), and reads pin one
+  instead of taking the store lock, so checks never queue behind
+  writers;
 * :mod:`repro.service.persistence` — the durable form of that commit
   log: a write-ahead log fsync'd before each update commits, atomic
   snapshots, and restart-and-replay recovery
@@ -20,6 +25,7 @@ scaling work (sharding, batching, async) builds on.
 """
 
 from repro.service.locks import ReadWriteLock
+from repro.service.snapshots import DocumentSnapshot, SnapshotManager
 from repro.service.persistence import (
     DurableLog,
     Snapshot,
@@ -38,8 +44,10 @@ __all__ = [
     "ReadWriteLock",
     "CheckingService",
     "CommittedUpdate",
+    "DocumentSnapshot",
     "DocumentStore",
     "DurableLog",
+    "SnapshotManager",
     "RecoveryInfo",
     "Snapshot",
     "WalRecord",

@@ -28,12 +28,18 @@ the checker.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
 from repro.analysis.concurrency import guarded_by, requires_lock
-from repro.core.guard import IntegrityGuard, UpdateDecision, _CheckerBase
+from repro.core.guard import (
+    IntegrityGuard,
+    UpdateDecision,
+    _CheckerBase,
+    verify_documents,
+)
 from repro.core.schema import ConstraintSchema
 from repro.errors import (
     IntegrityViolationError,
@@ -41,6 +47,7 @@ from repro.errors import (
     SchemaError,
 )
 from repro.service.locks import ReadWriteLock
+from repro.service.snapshots import DocumentSnapshot, SnapshotManager
 from repro.service.persistence import (
     SNAPSHOT_NAME,
     WAL_NAME,
@@ -143,7 +150,10 @@ class CheckingService:
     def __init__(self, schema: ConstraintSchema,
                  documents: "Iterable[Document] | DocumentStore",
                  checker_factory: Callable[..., _CheckerBase]
-                 = IntegrityGuard) -> None:
+                 = IntegrityGuard, *,
+                 snapshot_reads: bool = True) -> None:
+        self.snapshot_reads = snapshot_reads
+        self.snapshots = SnapshotManager(schema.relational)
         if isinstance(documents, DocumentStore):
             # the store may already be shared with running threads, and
             # the checker factory walks the document list (root-tag
@@ -153,11 +163,13 @@ class CheckingService:
             with self.store.read_locked():
                 self.checker = checker_factory(
                     schema, self.store.documents)
+                self._publish()
         else:
             self.store = DocumentStore(documents)
             # construction: the fresh store is not shared yet
             self.checker = checker_factory(
                 schema, self.store.documents)  # lock: ignore
+            self._publish()  # lock: ignore
         self._committed: list[CommittedUpdate] = []
         self._durable: "DurableLog | None" = None
         self._state_dir: "Path | None" = None
@@ -169,16 +181,20 @@ class CheckingService:
         self.last_recovery: "RecoveryInfo | None" = None
 
     @classmethod
-    def from_checker(cls, checker: _CheckerBase) -> "CheckingService":
+    def from_checker(cls, checker: _CheckerBase, *,
+                     snapshot_reads: bool = True) -> "CheckingService":
         """Wrap an existing checker (and its documents) in a service.
 
         The checker must not be driven directly afterwards — every call
         has to go through the service for the locking to mean anything.
         """
         service = cls.__new__(cls)
+        service.snapshot_reads = snapshot_reads
+        service.snapshots = SnapshotManager(checker.schema.relational)
         service.store = DocumentStore(checker.documents)
         service.checker = checker
         # construction: the service is not shared with any thread yet
+        service._publish()  # lock: ignore
         service._committed = []  # lock: ignore
         service._durable = None
         service._state_dir = None
@@ -188,6 +204,17 @@ class CheckingService:
         service._pending_mark = None  # lock: ignore
         service.last_recovery = None
         return service
+
+    @requires_lock("self.store.lock")
+    def _publish(self) -> None:
+        """Publish a fresh read snapshot of the current documents.
+
+        Called at every commit boundary with the writer lock held (or
+        during construction/recovery before the service is shared, and
+        under the read lock on the shared-store construction path —
+        anything that excludes structural mutation qualifies)."""
+        if self.snapshot_reads:
+            self.snapshots.publish(self.store.documents)
 
     # -- durability ----------------------------------------------------------
 
@@ -294,6 +321,9 @@ class CheckingService:
                 record.seq, record.text, decision))
             replayed += 1
         # construction: the service is not shared with any thread yet
+        # (replay drove the checker directly, so re-publish the
+        # recovered state for the snapshot read path)
+        service._publish()  # lock: ignore
         service._committed = committed  # lock: ignore
         service.last_recovery = RecoveryInfo(
             snapshot_lsn=snapshot.lsn, replayed=replayed,
@@ -428,16 +458,26 @@ class CheckingService:
         lock; applied updates are appended to the commit log.
         """
         with self.store.write_locked():
-            decision = self.checker.try_execute(update)
+            try:
+                decision = self.checker.try_execute(update)
+                if decision.applied:
+                    if self._durable is None:
+                        fail.point("service.store.pre_commit_append")
+                        self._committed.append(CommittedUpdate(
+                            len(self._committed), update, decision))
+                    else:
+                        # the durable pre-commit hook already logged
+                        # and appended inside the checker's
+                        # transaction scope
+                        self._maybe_snapshot()
+            except BaseException:
+                # the checker may have committed without a publication
+                # reaching the readers: flag the published snapshot so
+                # the read path repairs from the live tree
+                self.snapshots.invalidate()
+                raise
             if decision.applied:
-                if self._durable is None:
-                    fail.point("service.store.pre_commit_append")
-                    self._committed.append(CommittedUpdate(
-                        len(self._committed), update, decision))
-                else:
-                    # the durable pre-commit hook already logged and
-                    # appended inside the checker's transaction scope
-                    self._maybe_snapshot()
+                self._publish()
             return decision
 
     def execute(self, update: "str | Operation") -> UpdateDecision:
@@ -459,28 +499,114 @@ class CheckingService:
         :meth:`try_execute` loop update for update.
         """
         with self.store.write_locked():
-            decisions = self.checker.check_batch(updates)
-            if self._durable is None:
-                for update, decision in zip(updates, decisions):
-                    if decision.applied:
-                        fail.point("service.store.pre_commit_append")
-                        self._committed.append(CommittedUpdate(
-                            len(self._committed), update, decision))
-            else:
-                # per-update logging happened in the pre-commit hook
-                self._maybe_snapshot()
+            try:
+                decisions = self.checker.check_batch(updates)
+                if self._durable is None:
+                    for update, decision in zip(updates, decisions):
+                        if decision.applied:
+                            fail.point(
+                                "service.store.pre_commit_append")
+                            self._committed.append(CommittedUpdate(
+                                len(self._committed), update,
+                                decision))
+                else:
+                    # per-update logging happened in the hook
+                    self._maybe_snapshot()
+            except BaseException:
+                self.snapshots.invalidate()
+                raise
+            if any(decision.applied for decision in decisions):
+                self._publish()
             return decisions
 
     # -- readers -------------------------------------------------------------
 
+    def _pin_or_repair(self) -> DocumentSnapshot:
+        """A pinned snapshot, repairing under the read lock if needed.
+
+        The fast path never touches the store lock: writers and
+        readers proceed fully independently.  The slow path (nothing
+        published, or a publication died mid-way) rebuilds from the
+        live tree under the read lock, which excludes writers.
+        Callers must unpin the result.
+        """
+        snapshot = self.snapshots.pin()
+        if snapshot is not None:
+            return snapshot
+        with self.store.read_locked():
+            return self.snapshots.repair(self.store.documents)
+
+    @contextmanager
+    def read_view(self) -> "Iterator[DocumentSnapshot]":
+        """Pin a consistent document view for arbitrary read work.
+
+        With snapshot reads enabled (the default) this pins the
+        latest published snapshot — immutable frozen documents, no
+        store lock held, so the view stays coherent for as long as
+        the caller keeps it even while writers commit.  With
+        ``snapshot_reads=False`` it degrades to holding the read lock
+        for the duration and viewing the live documents.
+        """
+        if self.snapshot_reads:
+            snapshot = self._pin_or_repair()
+            try:
+                yield snapshot
+            finally:
+                self.snapshots.unpin(snapshot)
+        else:
+            with self.store.read_locked():
+                documents = self.store.documents
+                yield DocumentSnapshot(
+                    0, documents,
+                    [(document.uid, document.revision)
+                     for document in documents])
+
     def verify_consistency(self) -> list[str]:
-        """Full constraint check, concurrent with other readers."""
+        """Full constraint check, lock-free against a pinned snapshot
+        (or under the read lock with ``snapshot_reads=False``)."""
+        if not self.snapshot_reads:
+            return self.verify_consistency_locked()
+        with self.read_view() as view:
+            return verify_documents(self.checker.schema,
+                                    list(view.documents))
+
+    def verify_consistency_locked(self) -> list[str]:
+        """Full constraint check against the live tree (read lock)."""
         with self.store.read_locked():
             return self.checker.verify_consistency()
 
     def snapshot(self) -> list[str]:
         """Serialized documents, concurrent with other readers."""
-        return self.store.snapshot()
+        if not self.snapshot_reads:
+            return self.store.snapshot()
+        with self.read_view() as view:
+            return [serialize(document) for document in view.documents]
+
+    def explain(self) -> list[str]:
+        """Planner explain reports for every live full check.
+
+        Runs against a pinned snapshot like any other read, so a slow
+        explain (it profiles real evaluations) never holds up writers.
+        Drift beyond the re-plan threshold is surfaced per report and
+        feeds the planner's adaptive statistics (see
+        :func:`repro.xquery.planner.explain_query`).
+        """
+        from repro.xquery import planner
+
+        reports: list[str] = []
+        with self.read_view() as view:
+            documents = list(view.documents)
+            for constraint in self.checker.schema.constraints:
+                if constraint.dead:
+                    continue
+                for query in constraint.full_queries:
+                    if query.prepared is None:
+                        continue
+                    report = planner.explain_query(
+                        query.prepared, documents)
+                    reports.append(
+                        f"constraint {constraint.name}:\n{report}")
+        return reports
 
     def committed_updates(self) -> list[CommittedUpdate]:
         """The commit log so far, in commit order (a copy)."""

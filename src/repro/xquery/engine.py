@@ -527,12 +527,14 @@ def _index_cache_key(source: "Expression", key_side: "Expression",
         key_tags = index_dependencies(key_side)
         tags = None if key_tags is None else frozenset(tags | key_tags)
     if tags is None:
-        state = tuple((id(document), document.revision)
+        # document.uid, not id(): the cache outlives documents, and a
+        # recycled address must not revive a dead document's entries
+        state = tuple((document.uid, document.revision)
                       for document in context.documents)
         return (source, key_side, None, state)
     ordered = tuple(sorted(tags))
     state = tuple(
-        (id(document),
+        (document.uid,
          tuple(document.tag_revision(tag) for tag in ordered))
         for document in context.documents)
     return (source, key_side, ordered, state)

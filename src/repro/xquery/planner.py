@@ -182,6 +182,52 @@ def without_columns():
 _PRIORS: dict[str, float] = {}  # guarded-by: _PRIORS_LOCK
 _PRIORS_LOCK = make_lock("planner.priors")
 
+#: actual-vs-estimated ratio past which an explain run treats a
+#: binding's estimate as drifted: the observed cardinality is fed back
+#: into the planner and the cached plan for that query is invalidated,
+#: so the next evaluation re-plans with the corrected number
+REPLAN_DRIFT_THRESHOLD = 8.0
+
+#: drift on tiny scans is noise (a handful of rows reorders nothing
+#: and the ratio denominator is ~1); only feed back real volume
+_REPLAN_MIN_EXAMINED = 16
+
+_FEEDBACK_CAPACITY = 256
+
+#: (quantified expression, original binding index) → observed source
+#: cardinality from a drifted explain run; overrides the statistical
+#: estimate (taking the max) until the table is cleared.  Like the
+#: priors, feedback can only influence plan *order*, never a verdict.
+_FEEDBACK: "OrderedDict[tuple, float]" = \
+    OrderedDict()  # guarded-by: _PRIORS_LOCK
+
+
+def _feedback_estimate(quantified: "Quantified", original_index: int,
+                       estimate: float) -> float:
+    """Blend an explain-observed cardinality into an estimate."""
+    with _PRIORS_LOCK:
+        observed = _FEEDBACK.get((quantified, original_index))
+    if observed is None:
+        return estimate
+    return max(estimate, observed)
+
+
+def note_drift(quantified: "Quantified", original_index: int,
+               examined: int) -> None:
+    """Record an observed cardinality for a drifted binding.
+
+    Called by :func:`explain_query` when a binding examined far more
+    items than estimated; :func:`_choose_order` consults the table on
+    every subsequent plan, so the correction takes effect as soon as
+    the stale cached plan is invalidated.
+    """
+    with _PRIORS_LOCK:
+        key = (quantified, original_index)
+        _FEEDBACK[key] = float(examined)
+        _FEEDBACK.move_to_end(key)
+        while len(_FEEDBACK) > _FEEDBACK_CAPACITY:
+            _FEEDBACK.popitem(last=False)
+
 
 def install_priors(priors: dict[str, float]) -> None:
     """Merge DTD-derived cardinality priors into the global table.
@@ -609,6 +655,7 @@ def _choose_order(quantified: Quantified,
                 continue
             name, source = bindings[index]
             card, anchor = _estimate_any(source, stats, anchors)
+            card = _feedback_estimate(quantified, index, card)
             cost = card
             if not source_deps[index] and _joinable(
                     name, chosen_names, name_set, factors, factor_vars):
@@ -1179,7 +1226,7 @@ def _parent_step(rt: _Runtime, items: Sequence) -> Sequence:
 def _tag_state(documents: "list[Document] | tuple[Document, ...]",
                tags: tuple[str, ...]) -> tuple:
     return tuple(
-        (id(document),
+        (document.uid,
          tuple(document.tag_revision(tag) for tag in tags))
         for document in documents)
 
@@ -1247,7 +1294,7 @@ def _predicate_index(tag: str, downpath: tuple[tuple[str, str], ...],
     state, and registered with the active batch scope for incremental
     repair.
     """
-    base = ("predindex", tag, downpath, tuple(id(d) for d in documents))
+    base = ("predindex", tag, downpath, tuple(d.uid for d in documents))
     cache_key = base + (deps, _tag_state(documents, deps))
     cached = engine._INDEX_CACHE.get(cache_key)
     if cached is not None:
@@ -1388,6 +1435,8 @@ def _compile_some(quantified: Quantified, pl: _Plan) -> TruthClosure:
     lowspec: list[tuple] = []
     for index, (name, source) in enumerate(bindings):
         estimate, anchor = _estimate_any(source, pl.stats, anchors)
+        estimate = _feedback_estimate(quantified, order[index],
+                                      estimate)
         if anchor is not None:
             anchors[name] = anchor
         correlated = bool(free_variables(source) & name_set)
@@ -1598,7 +1647,8 @@ def _compiled_for(expression: Expression, strategy: tuple,
 
 def _plan_truth(expression: Expression,
                 documents: tuple[Document, ...]) -> TruthClosure:
-    key = (expression, tuple(id(document) for document in documents))
+    key = (expression,
+           tuple(document.uid for document in documents))
     revisions = tuple(document.revision for document in documents)
     with _PLAN_LOCK:
         entry = _PLAN_LRU.get(key)
@@ -1661,10 +1711,13 @@ def query_truth_planned(
 
 
 def clear_caches() -> None:
-    """Drop every cached plan and compiled closure (tests, benchmarks)."""
+    """Drop every cached plan and compiled closure (tests, benchmarks),
+    plus the explain-fed cardinality feedback."""
     with _PLAN_LOCK:
         _PLAN_LRU.clear()
         _COMPILED.clear()
+    with _PRIORS_LOCK:
+        _FEEDBACK.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -1697,6 +1750,7 @@ def explain_query(
     rt.profile = {}
     rt.backends = []
     fallback_reason: str | None = None
+    drifted = False
     try:
         verdict = truth_fn(rt)
     except XQueryEvaluationError as error:
@@ -1738,6 +1792,27 @@ def explain_query(
                 f"  est~{binding.estimate:g}"
                 f"  examined={counters[0]}  passed={counters[1]}"
                 f"{moved}")
+            examined = counters[0]
+            if examined >= _REPLAN_MIN_EXAMINED \
+                    and examined > max(binding.estimate, 1.0) \
+                    * REPLAN_DRIFT_THRESHOLD:
+                ratio = examined / max(binding.estimate, 1.0)
+                note_drift(info.expression, binding.original_index,
+                           examined)
+                drifted = True
+                lines.append(
+                    f"     replan: ${binding.name} drift "
+                    f"{ratio:.1f}x (est~{binding.estimate:g}, "
+                    f"examined {examined}) — observed cardinality "
+                    "fed back, cached plan invalidated")
+    if drifted:
+        # a same-revision cached plan would otherwise keep the stale
+        # order forever: evict it so the next evaluation re-plans
+        # with the fed-back cardinalities
+        with _PLAN_LOCK:
+            for key in [cached for cached in _PLAN_LRU
+                        if cached[0] == query]:
+                del _PLAN_LRU[key]
     if fallback_reason is not None:
         lines.append(
             f"backend: unplanned fallback ({fallback_reason})")
@@ -1960,7 +2035,7 @@ class BatchScope:
                 source, key_side, QueryContext(documents, {}))
 
         self.register(("join", source, key_side,
-                       tuple(id(d) for d in documents)),
+                       tuple(d.uid for d in documents)),
                       tag, documents, index_map, key_of, make_key)
 
     def note_applied(self, records: list) -> None:
