@@ -5,7 +5,7 @@ BENCH_SIZES ?= 32,64,128
 	bench-planner-smoke bench-columnar bench-columnar-smoke \
 	bench-service bench-service-smoke \
 	examples lint lint-concurrency stress faultcheck \
-	faultcheck-restart clean
+	faultcheck-restart serve-check clean
 
 # fault-injection matrix: seeds x named schedules, each run asserting
 # the crash-consistency invariant battery (see docs/testing.md)
@@ -141,6 +141,19 @@ faultcheck-restart:
 		$(PYTHON) -m repro.cli faultcheck --crash-restart \
 		$(FAULTCHECK_SEEDS) --ops $(FAULTCHECK_OPS) \
 		--repro-file FAULTCHECK_REPRO.txt
+
+# end-to-end suite for the networked sharded service: hash-ring
+# properties plus the conformance/chaos battery (spawned worker
+# processes behind the asyncio HTTP edge).  pytest-timeout (when
+# installed) puts a hard cap on every test so a wedged worker can
+# never hang the job.
+SERVE_TIMEOUT := $(shell $(PYTHON) -c "import importlib.util as u; \
+	print('--timeout=300' if u.find_spec('pytest_timeout') else '')")
+
+serve-check:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/test_hash_ring.py \
+		tests/test_service_net.py -q $(SERVE_TIMEOUT)
 
 examples:
 	$(PYTHON) examples/quickstart.py

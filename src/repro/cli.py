@@ -13,7 +13,10 @@ A thin front-end over the library for shell use:
 * ``lint``     — run the compile-time analysis passes and report
   ``XICnnn`` diagnostics (text or JSON) without touching documents;
 * ``recover``  — rebuild a durable checking service from its state
-  directory (snapshot + write-ahead log) and report what replay did.
+  directory (snapshot + write-ahead log) and report what replay did;
+* ``serve``    — run the networked sharded checking service: an
+  asyncio HTTP front end routing requests by consistent hashing to N
+  durable worker processes.
 
 Constraints are given one per ``--constraint`` (inline text) or via
 ``--constraints-file`` (one denial per non-empty line; ``#`` comments;
@@ -200,8 +203,26 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.errors import RecoveryError
+    from repro.service.persistence import SNAPSHOT_NAME, WAL_NAME
     from repro.service.store import CheckingService
 
+    # pre-flight the state directory so a mistyped path yields one
+    # coded diagnostic instead of a cryptic downstream error
+    state_dir = Path(args.state_dir)
+    if not state_dir.exists():
+        raise RecoveryError(
+            f"state directory {state_dir} does not exist",
+            code="recover.no-state")
+    if not state_dir.is_dir():
+        raise RecoveryError(
+            f"{state_dir} is not a directory", code="recover.no-state")
+    if not (state_dir / SNAPSHOT_NAME).exists() \
+            and not (state_dir / WAL_NAME).exists():
+        raise RecoveryError(
+            f"state directory {state_dir} holds neither a "
+            f"{SNAPSHOT_NAME} nor a {WAL_NAME}; nothing to recover",
+            code="recover.no-state")
     schema = _build_schema(args)
     service = CheckingService.recover(schema, args.state_dir)
     try:
@@ -300,6 +321,44 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     print(f"faultcheck passed: {len(reports)} scenarios "
           f"({shape}), "
           f"{total} faults fired, all invariants held{armed}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.net import ServiceConfig, ShardedService
+
+    config = ServiceConfig(
+        dtds=tuple(_read(path) for path in args.dtd),
+        constraints=tuple(_load_constraints(args)),
+        patterns=tuple(_read(path) for path in args.pattern or []),
+        documents=tuple(_read(path) for path in args.document),
+        snapshot_interval=args.snapshot_interval,
+        sync_writes=not args.no_sync)
+    # compile once up front: a bad DTD/constraint/document should fail
+    # here with a parse error, not as N workers dying at startup
+    config.build_schema()
+    config.initial_documents()
+
+    async def run() -> None:
+        service = ShardedService(config, args.state_dir,
+                                 workers=args.workers, host=args.host,
+                                 port=args.port)
+        await service.start()
+        print(f"serving on http://{service.host}:{service.port} "
+              f"({args.workers} workers, state under {args.state_dir})",
+              flush=True)
+        try:
+            await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            print("draining workers ...", flush=True)
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -482,6 +541,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "emptying the replay tail")
     recover.set_defaults(handler=cmd_recover)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the networked sharded checking service (asyncio "
+             "HTTP edge + N durable worker processes)")
+    _add_schema_arguments(serve)
+    serve.add_argument("--document", action="append", required=True,
+                       help="XML file seeding every new document "
+                            "group (repeatable)")
+    serve.add_argument("--state-dir", required=True,
+                       help="root directory for per-shard durable "
+                            "state (shard-<uid>/ subdirectories)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker process count (default: 2)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8626,
+                       help="TCP port, 0 for ephemeral "
+                            "(default: 8626)")
+    serve.add_argument("--snapshot-interval", type=int, default=64,
+                       help="updates between WAL checkpoints "
+                            "(default: 64)")
+    serve.add_argument("--no-sync", action="store_true",
+                       help="skip fsync on commit (faster, loses the "
+                            "power-failure guarantee)")
+    serve.set_defaults(handler=cmd_serve)
+
     query = commands.add_parser(
         "query", help="evaluate an XQuery expression over documents")
     query.add_argument("expression", help="XQuery text")
@@ -496,11 +581,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
+    except (ReproError, OSError) as error:
+        code = getattr(error, "code", None)
+        prefix = f"error [{code}]" if code else "error"
+        print(f"{prefix}: {error}", file=sys.stderr)
         return 2
 
 

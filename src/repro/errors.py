@@ -133,4 +133,18 @@ class RecoveryError(ReproError):
     """Durable state under a service directory cannot be opened or
     replayed: missing/corrupt snapshot, a write-ahead log whose record
     sequence is discontinuous, or a logged update the checker no longer
-    accepts on replay."""
+    accepts on replay.
+
+    Attributes:
+        code: a stable machine-readable classification of the failure
+            (``recover.no-state``, ``recover.log-corrupt``,
+            ``recover.snapshot-corrupt``, ``recover.replay-rejected``,
+            ``recover.wal-dead``, or the generic ``recover.failed``),
+            surfaced by the CLI and the networked service so callers
+            never have to parse the message text.
+    """
+
+    def __init__(self, message: str,
+                 code: str = "recover.failed") -> None:
+        self.code = code
+        super().__init__(message)

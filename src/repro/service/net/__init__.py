@@ -1,0 +1,34 @@
+"""Networked sharded checking service (asyncio edge + worker processes).
+
+The deployment shape of the paper's incremental checking: an asyncio
+HTTP/1.1 front end (stdlib only) admits ``update`` / ``check`` /
+``check_batch`` / ``read`` / ``recover`` requests and routes each one
+by consistent hashing on the document-group uid to one of N worker
+processes.  Every worker owns a disjoint set of uids (ownership is
+re-verified worker-side, not just at the router), runs one durable
+:class:`~repro.service.store.CheckingService` per uid over its own
+state directory, and talks to the front end in length-prefixed JSON
+frames over a unix socket.  A supervisor restarts dead workers, whose
+shards recover from their write-ahead logs on the next touch.
+
+See ``docs/architecture.md`` ("Networked sharded service") for the
+request path and ownership rule, and ``docs/testing.md`` for the
+endpoint schema the conformance/chaos suite drives.
+"""
+
+from repro.service.net.client import ServiceClient
+from repro.service.net.config import ServiceConfig
+from repro.service.net.frames import FrameError
+from repro.service.net.http import ServerThread, ShardedService
+from repro.service.net.ring import HashRing
+from repro.service.net.supervisor import Supervisor
+
+__all__ = [
+    "FrameError",
+    "HashRing",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ShardedService",
+    "Supervisor",
+]

@@ -1,0 +1,115 @@
+"""Small synchronous HTTP client for the sharded checking service.
+
+Built on stdlib :mod:`http.client` with one kept-alive connection and
+transparent reconnect-once — enough for the CLI, the conformance suite
+and the chaos tests, without pulling in any dependency.  Every method
+returns ``(status, payload)`` where ``payload`` is the decoded JSON
+body; transport-level failures raise :class:`ServiceClientError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """The service edge could not be reached or spoke garbage."""
+
+
+class ServiceClient:
+    """Talk JSON-over-HTTP to a running :class:`ShardedService`."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: "http.client.HTTPConnection | None" = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def close(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._connection
+
+    def request(self, path: str, payload: "dict | None" = None,
+                method: str = "POST") -> tuple[int, dict]:
+        """One round trip; reconnects once on a stale connection."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body,
+                                   headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError) as error:
+                self.close()
+                if attempt:
+                    raise ServiceClientError(
+                        f"request to {method} {path} failed: "
+                        f"{error}") from error
+        try:
+            decoded = json.loads(data) if data else {}
+        except ValueError as error:
+            raise ServiceClientError(
+                f"non-JSON response from {method} {path}: "
+                f"{data[:200]!r}") from error
+        if not isinstance(decoded, dict):
+            raise ServiceClientError(
+                f"response from {method} {path} is not a JSON object")
+        return response.status, decoded
+
+    # -- endpoints ----------------------------------------------------------
+
+    def update(self, uid: str, update: str) -> tuple[int, dict]:
+        return self.request("/update", {"uid": uid, "update": update})
+
+    def check(self, uid: str) -> tuple[int, dict]:
+        return self.request("/check", {"uid": uid})
+
+    def check_batch(self, uid: str,
+                    updates: list[str]) -> tuple[int, dict]:
+        return self.request("/check_batch",
+                            {"uid": uid, "updates": list(updates)})
+
+    def read(self, uid: str,
+             with_log: bool = False) -> tuple[int, dict]:
+        payload: dict = {"uid": uid}
+        if with_log:
+            payload["with_log"] = True
+        return self.request("/read", payload)
+
+    def recover(self, uid: str) -> tuple[int, dict]:
+        return self.request("/recover", {"uid": uid})
+
+    def status(self) -> tuple[int, dict]:
+        return self.request("/status", None, method="GET")
+
+    def arm(self, worker: int, spec: str,
+            kill: bool = True) -> tuple[int, dict]:
+        return self.request("/arm", {"worker": worker, "spec": spec,
+                                     "kill": kill})

@@ -1,0 +1,121 @@
+"""Length-prefixed JSON frames: the front-end ↔ worker wire format.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON (always a JSON object).  The format is symmetric —
+requests and responses use the same framing — and deliberately has no
+in-band delimiters, so a frame can carry arbitrary serialized XML.
+
+Both sides of the socket are provided: blocking helpers for the
+single-threaded worker process, coroutine helpers for the asyncio
+front end.  A clean EOF between frames decodes to ``None``; an EOF or
+malformed prefix inside a frame raises :class:`FrameError` (for the
+front end that distinguishes "worker finished" from "worker died
+mid-reply").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]
+
+_PREFIX = struct.Struct(">I")
+#: refuse frames above 64 MiB — nothing the service exchanges comes
+#: close, so a larger prefix is garbage, not a length
+MAX_FRAME = 1 << 26
+
+
+class FrameError(ConnectionError):
+    """The peer vanished mid-frame or sent a malformed frame."""
+
+
+def _encode(payload: dict) -> bytes:
+    body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame of {len(body)} bytes exceeds the "
+                         f"{MAX_FRAME}-byte limit")
+    return _PREFIX.pack(len(body)) + body
+
+
+def _decode_length(prefix: bytes) -> int:
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds the "
+                         f"{MAX_FRAME}-byte limit")
+    return length
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise FrameError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return payload
+
+
+# -- blocking side (worker process) -----------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(_encode(payload))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """One frame, or ``None`` on a clean EOF between frames."""
+    prefix = _recv_exactly(sock, _PREFIX.size)
+    if prefix is None:
+        return None
+    length = _decode_length(prefix)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise FrameError("peer closed the connection mid-frame")
+    return _decode_body(body)
+
+
+# -- asyncio side (front end) -----------------------------------------------
+
+
+async def write_frame(writer: asyncio.StreamWriter,
+                      payload: dict) -> None:
+    writer.write(_encode(payload))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """One frame, or ``None`` on a clean EOF between frames."""
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FrameError("peer closed the connection mid-frame") \
+            from error
+    length = _decode_length(prefix)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("peer closed the connection mid-frame") \
+            from error
+    return _decode_body(body)

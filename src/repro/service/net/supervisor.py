@@ -1,0 +1,185 @@
+"""Worker-process supervisor: spawn, health, restart-with-recovery.
+
+The supervisor owns the worker process table.  Workers are started
+with the ``spawn`` multiprocessing context (a fresh interpreter per
+worker — no inherited locks, caches or armed failpoints), each bound
+to a unix socket in a short-lived runtime directory (unix socket paths
+have a ~100-byte limit, so they never live under the user's state
+directory).
+
+Restart policy: a worker found dead is respawned on the *same* worker
+id, state directory and socket path, with a clean environment — any
+chaos arming that killed its predecessor does not survive it.  The
+respawned worker re-opens each shard it owns lazily, and because
+opening an existing shard directory is restart-and-replay recovery,
+the supervisor restarting a worker *is* ``recover()`` on its state.
+
+All methods are blocking; the asyncio front end calls them through
+``asyncio.to_thread``, serialized per worker by its connection lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.service.net.config import ServiceConfig
+from repro.service.net.frames import recv_frame, send_frame
+from repro.service.net.worker import worker_main
+
+__all__ = ["Supervisor", "WorkerUnavailableError"]
+
+#: how long a freshly spawned worker gets to bind its socket and
+#: answer a ping (covers interpreter start + schema compilation)
+READY_TIMEOUT = 30.0
+
+
+class WorkerUnavailableError(ReproError):
+    """A worker could not be started or never became ready."""
+
+
+@dataclass
+class _WorkerSlot:
+    worker_id: int
+    socket_path: str
+    process: "multiprocessing.process.BaseProcess | None" = None
+    restarts: int = 0
+    env_once: dict[str, str] = field(default_factory=dict)
+
+
+class Supervisor:
+    """Spawns and babysits the N shard workers."""
+
+    def __init__(self, worker_count: int, state_dir: "str | Path",
+                 config: ServiceConfig) -> None:
+        if worker_count < 1:
+            raise ValueError("need at least one worker")
+        self.worker_count = worker_count
+        self.state_dir = Path(state_dir)
+        self.config = config
+        self._context = multiprocessing.get_context("spawn")
+        self._runtime_dir = tempfile.mkdtemp(prefix="repro-net-")
+        self._slots = [
+            _WorkerSlot(
+                worker_id=wid,
+                socket_path=os.path.join(self._runtime_dir,
+                                         f"worker-{wid}.sock"),
+                env_once=dict(config.worker_env.get(wid, {})))
+            for wid in range(worker_count)]
+
+    # -- accessors ----------------------------------------------------------
+
+    def socket_path(self, worker_id: int) -> str:
+        return self._slots[worker_id].socket_path
+
+    def restart_counts(self) -> dict[int, int]:
+        return {slot.worker_id: slot.restarts for slot in self._slots}
+
+    def alive(self) -> list[bool]:
+        return [slot.process is not None and slot.process.is_alive()
+                for slot in self._slots]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start_all(self) -> None:
+        """Spawn every worker and wait until each answers a ping."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for slot in self._slots:
+            self._spawn(slot, extra_env=slot.env_once)
+        for slot in self._slots:
+            self._wait_ready(slot)
+
+    def _spawn(self, slot: _WorkerSlot,
+               extra_env: "dict[str, str] | None" = None) -> None:
+        # spawn snapshots os.environ at start(): apply the one-shot
+        # test environment around it, then restore
+        saved: dict[str, str | None] = {}
+        for key, value in (extra_env or {}).items():
+            saved[key] = os.environ.get(key)
+            os.environ[key] = value
+        try:
+            process = self._context.Process(
+                target=worker_main,
+                args=(slot.worker_id, self.worker_count,
+                      str(self.state_dir), slot.socket_path,
+                      self.config),
+                name=f"repro-shard-{slot.worker_id}",
+                daemon=True)
+            process.start()
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        slot.process = process
+
+    def _wait_ready(self, slot: _WorkerSlot,
+                    timeout: float = READY_TIMEOUT) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            process = slot.process
+            if process is None or not process.is_alive():
+                break
+            try:
+                with socket.socket(socket.AF_UNIX,
+                                   socket.SOCK_STREAM) as probe:
+                    probe.settimeout(5.0)
+                    probe.connect(slot.socket_path)
+                    send_frame(probe, {"op": "ping"})
+                    response = recv_frame(probe)
+                if response is not None and response.get("ok"):
+                    return
+            except OSError:
+                pass
+            time.sleep(0.05)
+        raise WorkerUnavailableError(
+            f"worker {slot.worker_id} did not become ready within "
+            f"{timeout:.0f}s")
+
+    def ensure(self, worker_id: int) -> bool:
+        """Restart ``worker_id`` if its process died.
+
+        Returns True when a restart happened (the caller must drop any
+        cached connection), False when the process is still alive (the
+        failure was a stale connection — reconnect and move on).
+        """
+        slot = self._slots[worker_id]
+        process = slot.process
+        if process is not None:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                return False
+        slot.restarts += 1
+        # restarts come up with a clean environment: a chaos arming
+        # that killed the predecessor must not survive it
+        self._spawn(slot, extra_env=None)
+        self._wait_ready(slot)
+        return True
+
+    def join_all(self, timeout: float = 5.0) -> None:
+        """Reap every worker; escalate to terminate/kill on stragglers.
+
+        The graceful half (the ``drain`` frame) is the front end's job
+        — it owns the connections; this is the process-table half.
+        """
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=2.0)
+            slot.process = None
+        shutil.rmtree(self._runtime_dir, ignore_errors=True)

@@ -146,11 +146,13 @@ def _scan(data: bytes) -> tuple[list[WalRecord], int]:
     if [record.seq for record in records] != list(expected):
         raise RecoveryError(
             "write-ahead log sequence is discontinuous: "
-            f"{[record.seq for record in records]!r}")
+            f"{[record.seq for record in records]!r}",
+            code="recover.log-corrupt")
     if records and records[0].seq != 0:
         raise RecoveryError(
             f"write-ahead log does not start at sequence 0 "
-            f"(first record is {records[0].seq})")
+            f"(first record is {records[0].seq})",
+            code="recover.log-corrupt")
     return records, offset
 
 
@@ -271,10 +273,12 @@ class DurableLog:
         if self._crashed:
             raise RecoveryError(
                 f"write-ahead log {self.path} is marked crashed; "
-                "recover from disk instead of appending further")
+                "recover from disk instead of appending further",
+                code="recover.wal-dead")
         if self._file.closed:
             raise RecoveryError(
-                f"write-ahead log {self.path} is closed")
+                f"write-ahead log {self.path} is closed",
+                code="recover.wal-dead")
 
     @requires_lock("self._lock")
     def _mark_crashed_locked(self) -> None:
@@ -339,21 +343,25 @@ def load_snapshot(directory: "str | Path") -> "Snapshot | None":
         return None
     newline = blob.find(b"\n")
     if newline < 0:
-        raise RecoveryError(f"snapshot {path} has no checksum line")
+        raise RecoveryError(f"snapshot {path} has no checksum line",
+                            code="recover.snapshot-corrupt")
     checksum, body = blob[:newline], blob[newline + 1:]
     if b"%08x" % zlib.crc32(body) != checksum:
-        raise RecoveryError(f"snapshot {path} fails its checksum")
+        raise RecoveryError(f"snapshot {path} fails its checksum",
+                            code="recover.snapshot-corrupt")
     try:
         decoded = json.loads(body)
         lsn = decoded["lsn"]
         documents = decoded["documents"]
     except (ValueError, TypeError, KeyError) as error:
-        raise RecoveryError(f"snapshot {path} is malformed: {error}") \
+        raise RecoveryError(f"snapshot {path} is malformed: {error}",
+                            code="recover.snapshot-corrupt") \
             from error
     if not isinstance(lsn, int) or lsn < 0 \
             or not isinstance(documents, list) \
             or not all(isinstance(text, str) for text in documents):
-        raise RecoveryError(f"snapshot {path} has malformed fields")
+        raise RecoveryError(f"snapshot {path} has malformed fields",
+                            code="recover.snapshot-corrupt")
     return Snapshot(lsn, tuple(documents))
 
 

@@ -28,6 +28,7 @@ the checker.
 
 from __future__ import annotations
 
+import re
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -71,9 +72,23 @@ class DocumentStore:
     The store is the unit of consistency: one lock covers all the
     documents a constraint set spans, because a single update (or a
     single check) may touch several of them.
+
+    A store may carry a ``uid`` — a caller-chosen name for the document
+    group.  Uids are validated path-safe (:meth:`validate_uid`) because
+    the sharded service derives per-group state-directory names from
+    them.
     """
 
-    def __init__(self, documents: Iterable[Document]) -> None:
+    #: path-safe uid shape: starts with an alphanumeric (which rules
+    #: out ``.``, ``..``, absolute paths and option-looking ``-x``),
+    #: then up to 63 more of ``[A-Za-z0-9._-]`` — no separators ever
+    _UID_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+    def __init__(self, documents: Iterable[Document],
+                 uid: "str | None" = None) -> None:
+        if uid is not None:
+            self.validate_uid(uid)
+        self.uid = uid
         self._documents = list(documents)
         seen: set[str] = set()
         for document in self._documents:
@@ -84,6 +99,25 @@ class DocumentStore:
                     "could not be routed to a single document")
             seen.add(tag)
         self.lock = ReadWriteLock()
+
+    @staticmethod
+    def validate_uid(uid: str) -> str:
+        """Check that ``uid`` can safely name a state directory.
+
+        The sharded service keys each document group's durable state
+        directory off its uid (``shard-<uid>``), so uids must never
+        contain path separators, start with a dot or dash, or exceed a
+        filesystem-friendly length.  Raises :class:`SchemaError` on
+        violation; returns the uid unchanged otherwise.
+        """
+        if not isinstance(uid, str) \
+                or not DocumentStore._UID_PATTERN.fullmatch(uid):
+            raise SchemaError(
+                f"invalid document-group uid {uid!r}: uids must start "
+                "with a letter or digit and contain only letters, "
+                "digits, '.', '_' or '-' (at most 64 characters), so "
+                "they can safely name per-shard state directories")
+        return uid
 
     @property
     @requires_lock("self.lock")
@@ -271,7 +305,8 @@ class CheckingService:
         if snapshot is None:
             raise RecoveryError(
                 f"no snapshot under {state_dir}; the directory holds "
-                "no recoverable durable state")
+                "no recoverable durable state",
+                code="recover.no-state")
         wal = DurableLog(state_dir / WAL_NAME, sync=sync)
         try:
             service = cls._recover(
@@ -295,7 +330,8 @@ class CheckingService:
             raise RecoveryError(
                 f"write-ahead log ends at sequence {wal.next_seq} but "
                 f"the snapshot is current through {snapshot.lsn}; the "
-                "log has lost fsync'd records")
+                "log has lost fsync'd records",
+                code="recover.log-corrupt")
         documents = [parse_document(text)
                      for text in snapshot.documents]
         service = cls(schema, documents, checker_factory)
@@ -316,7 +352,8 @@ class CheckingService:
                     f"logged update {record.seq} is no longer "
                     f"accepted on replay "
                     f"(violated: {decision.violated}); the log or "
-                    "snapshot has been corrupted")
+                    "snapshot has been corrupted",
+                    code="recover.replay-rejected")
             committed.append(CommittedUpdate(
                 record.seq, record.text, decision))
             replayed += 1
@@ -346,6 +383,16 @@ class CheckingService:
     def durable(self) -> bool:
         """True when a write-ahead log backs this service."""
         return self._durable is not None
+
+    @property
+    def wal_crashed(self) -> bool:
+        """True when the write-ahead log marked itself crashed.
+
+        A crashed log refuses further appends; the owning process must
+        be recovered (or, in the sharded service, the worker restarted)
+        before this state accepts updates again.
+        """
+        return self._durable is not None and self._durable.crashed
 
     @requires_lock("self.store.lock")
     def _durable_pre_commit(self, update: "str | Operation",

@@ -246,9 +246,42 @@ class TestRecover:
         assert code == 0
         assert "0 of 1 logged updates replayed" in out
 
-    def test_missing_state_dir_is_an_error(self, files, tmp_path,
-                                           capsys):
+    def test_missing_state_dir_is_a_coded_error(self, files, tmp_path,
+                                                capsys):
         code = main(["recover", *schema_args(files),
                      "--state-dir", str(tmp_path / "nothing")])
+        err = capsys.readouterr().err
         assert code == 2
-        assert "no snapshot" in capsys.readouterr().err
+        assert "error [recover.no-state]:" in err
+        assert "does not exist" in err
+
+    def test_empty_state_dir_is_a_coded_error(self, files, tmp_path,
+                                              capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["recover", *schema_args(files),
+                     "--state-dir", str(empty)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error [recover.no-state]:" in err
+        assert "nothing to recover" in err
+
+    def test_state_dir_that_is_a_file_is_a_coded_error(
+            self, files, tmp_path, capsys):
+        code = main(["recover", *schema_args(files),
+                     "--state-dir", files["rev.dtd"]])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error [recover.no-state]:" in err
+        assert "is not a directory" in err
+
+    def test_corrupt_snapshot_is_a_coded_error(self, files, tmp_path,
+                                               capsys):
+        state = self._durable_state(tmp_path)
+        snapshot = state / "snapshot.json"
+        snapshot.write_bytes(b"garbage\n" + snapshot.read_bytes()[9:])
+        code = main(["recover", *schema_args(files),
+                     "--state-dir", str(state)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error [recover.snapshot-corrupt]:" in err

@@ -1,0 +1,115 @@
+"""Properties of the consistent-hash ring behind the sharded service.
+
+The ring carries two load-bearing promises:
+
+* **single ownership** — every uid maps to exactly one live worker,
+  deterministically, on every process that builds the same ring (the
+  router and every worker re-derive it independently and must agree);
+* **minimal movement** — growing the ring from N to N+1 workers moves
+  keys *only onto the new worker*, and only about 1/(N+1) of them.
+
+The first group are exact properties (hypothesis); the movement
+*fraction* is statistical, so it is pinned on fixed seeds with slack.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.net import HashRing
+from repro.service.net.ring import DEFAULT_REPLICAS
+
+uids = st.text(
+    alphabet=st.characters(codec="ascii", exclude_characters="\x00"),
+    min_size=1, max_size=40)
+
+
+@given(st.lists(uids, min_size=1, max_size=50, unique=True),
+       st.integers(min_value=1, max_value=8))
+def test_every_uid_has_exactly_one_owner(keys, workers):
+    ring = HashRing(range(workers))
+    owners = {uid: ring.owner(uid) for uid in keys}
+    assert all(0 <= owner < workers for owner in owners.values())
+    # the bulk helper agrees with per-uid lookups, key for key
+    assert ring.assignment(keys) == owners
+
+
+@given(st.lists(uids, min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=8))
+def test_independent_rings_agree(keys, workers):
+    """The router and every worker build the ring separately; routing
+    only works if all of them derive the same owner for every uid."""
+    first = HashRing(range(workers))
+    second = HashRing(range(workers))
+    for uid in keys:
+        assert first.owner(uid) == second.owner(uid)
+
+
+@given(st.lists(uids, min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=8))
+def test_resize_moves_keys_only_to_the_new_node(keys, workers):
+    """Exact (not statistical) minimal-movement property: adding one
+    node never reshuffles keys between the old nodes."""
+    before = HashRing(range(workers))
+    after = HashRing(range(workers + 1))
+    for uid in keys:
+        old, new = before.owner(uid), after.owner(uid)
+        if old != new:
+            assert new == workers, (
+                f"{uid!r} moved {old} -> {new}, not to the new node")
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_ring_accessors(workers):
+    ring = HashRing(range(workers))
+    assert ring.node_count == workers
+    assert ring.nodes() == list(range(workers))
+    assert ring.replicas == DEFAULT_REPLICAS
+
+
+def test_empty_ring_is_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4, 7])
+def test_resize_moves_about_one_over_n_plus_one(workers):
+    """Statistical half of minimal movement: the moved fraction tracks
+    the ideal 1/(N+1).  With the default replica count the measured
+    ratio stays within ~±15% of ideal; the bounds leave 2x slack."""
+    rng = random.Random(0xEDB7 + workers)
+    sample = [f"uid-{rng.randrange(10 ** 12)}" for _ in range(4000)]
+    before = HashRing(range(workers))
+    after = HashRing(range(workers + 1))
+    moved = sum(1 for uid in sample
+                if before.owner(uid) != after.owner(uid))
+    ideal = 1 / (workers + 1)
+    fraction = moved / len(sample)
+    assert fraction <= 1.5 * ideal, (
+        f"resize {workers}->{workers + 1} moved {fraction:.3f} of the "
+        f"sample; ideal is {ideal:.3f}")
+    assert fraction >= 0.5 * ideal, (
+        f"resize {workers}->{workers + 1} moved only {fraction:.3f}; "
+        "the new node is starving")
+
+
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_load_spread_is_roughly_even(workers):
+    """No worker hoards or starves: with the default virtual-node
+    count every node's share of a large sample stays within a factor
+    of ~2 of fair."""
+    rng = random.Random(0x2006 + workers)
+    sample = [f"tenant-{rng.randrange(10 ** 12)}" for _ in range(4000)]
+    ring = HashRing(range(workers))
+    counts = {node: 0 for node in range(workers)}
+    for uid in sample:
+        counts[ring.owner(uid)] += 1
+    fair = len(sample) / workers
+    for node, count in counts.items():
+        assert 0.4 * fair <= count <= 2.0 * fair, (
+            f"worker {node} owns {count} of {len(sample)} "
+            f"(fair share {fair:.0f})")
